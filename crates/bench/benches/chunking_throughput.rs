@@ -1,0 +1,62 @@
+//! Criterion microbenchmarks: chunking substrate throughput.
+//!
+//! WFC is free, SC is bookkeeping-only, CDC pays the rolling-hash scan —
+//! the cost ladder behind Fig. 4's rows and the intelligent chunker's
+//! dispatch decisions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use aadedupe_chunking::{CdcChunker, CdcParams, Chunker, ScChunker, WfcChunker};
+
+fn data(len: usize) -> Vec<u8> {
+    let mut x = 0x243F6A8885A308D3u64;
+    (0..len)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x >> 32) as u8
+        })
+        .collect()
+}
+
+fn bench_chunkers(c: &mut Criterion) {
+    let input = data(4 << 20);
+    let mut group = c.benchmark_group("chunking");
+    group.throughput(Throughput::Bytes(input.len() as u64));
+
+    let wfc = WfcChunker::new();
+    group.bench_function("wfc", |b| b.iter(|| black_box(wfc.chunk(black_box(&input)))));
+
+    let sc = ScChunker::new(8 * 1024);
+    group.bench_function("sc_8k", |b| b.iter(|| black_box(sc.chunk(black_box(&input)))));
+
+    let cdc = CdcChunker::default();
+    group.bench_function("cdc_8k_avg", |b| {
+        b.iter(|| black_box(cdc.chunk(black_box(&input))))
+    });
+    group.finish();
+}
+
+fn bench_cdc_params(c: &mut Criterion) {
+    let input = data(4 << 20);
+    let mut group = c.benchmark_group("cdc_avg_size");
+    group.throughput(Throughput::Bytes(input.len() as u64));
+    for avg in [4096usize, 8192, 16384] {
+        let params = CdcParams {
+            min_size: avg / 4,
+            avg_size: avg,
+            max_size: avg * 2,
+            window: 48,
+        };
+        let cdc = CdcChunker::new(params);
+        group.bench_with_input(BenchmarkId::from_parameter(avg), &input, |b, d| {
+            b.iter(|| black_box(cdc.chunk(black_box(d))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chunkers, bench_cdc_params);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion microbenchmarks: hash substrate throughput.
+//!
+//! Underpins Fig. 3's ordering — Rabin96 (weak, table-driven) should beat
+//! MD5, which should beat SHA-1 — and tracks the rolling-hash cost that
+//! dominates CDC.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use aadedupe_hashing::rabin::{RabinFingerprinter, RollingHash};
+use aadedupe_hashing::{md5, rabin96, sha1};
+
+fn data(len: usize) -> Vec<u8> {
+    (0..len).map(|i| (i as u64).wrapping_mul(0x9E3779B97F4A7C15).to_le_bytes()[0]).collect()
+}
+
+fn bench_digests(c: &mut Criterion) {
+    let mut group = c.benchmark_group("digest");
+    for size in [8 * 1024usize, 1 << 20] {
+        let input = data(size);
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("rabin96", size), &input, |b, d| {
+            b.iter(|| black_box(rabin96(black_box(d))))
+        });
+        group.bench_with_input(BenchmarkId::new("md5", size), &input, |b, d| {
+            b.iter(|| black_box(md5(black_box(d))))
+        });
+        group.bench_with_input(BenchmarkId::new("sha1", size), &input, |b, d| {
+            b.iter(|| black_box(sha1(black_box(d))))
+        });
+        group.bench_with_input(BenchmarkId::new("rabin53_stream", size), &input, |b, d| {
+            b.iter(|| {
+                let mut f = RabinFingerprinter::new();
+                f.update(black_box(d));
+                black_box(f.finish())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_rolling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rolling");
+    let input = data(1 << 20);
+    group.throughput(Throughput::Bytes(input.len() as u64));
+    group.bench_function("roll_48B_window", |b| {
+        b.iter(|| {
+            let mut rh = RollingHash::new(48);
+            for &x in &input[..48] {
+                rh.push(x);
+            }
+            let mut acc = 0u64;
+            for i in 48..input.len() {
+                rh.roll(input[i - 48], input[i]);
+                acc ^= rh.value();
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_digests, bench_rolling);
+criterion_main!(benches);

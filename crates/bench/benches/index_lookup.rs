@@ -1,0 +1,79 @@
+//! Criterion microbenchmarks: index lookup paths.
+//!
+//! Compares the monolithic full index against the application-aware
+//! partitioned index, including the parallel batch lookup only the
+//! partitioned structure supports (the index-parallelism direction of the
+//! paper's §VI).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use aadedupe_filetype::AppType;
+use aadedupe_hashing::{Fingerprint, HashAlgorithm};
+use aadedupe_index::{AppAwareIndex, ChunkEntry, ChunkIndex, MonolithicIndex};
+
+fn fingerprints(n: usize) -> Vec<(AppType, Fingerprint)> {
+    (0..n)
+        .map(|i| {
+            let app = AppType::ALL[i % AppType::ALL.len()];
+            (app, Fingerprint::compute(HashAlgorithm::Sha1, &(i as u64).to_le_bytes()))
+        })
+        .collect()
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let entries = fingerprints(50_000);
+    let mono = MonolithicIndex::new(1 << 20);
+    let aware = AppAwareIndex::new(1 << 16);
+    for (app, fp) in &entries {
+        mono.insert(*fp, ChunkEntry::new(8192, 0, 0));
+        aware.insert(*app, *fp, ChunkEntry::new(8192, 0, 0));
+    }
+
+    let mut group = c.benchmark_group("index_lookup_50k");
+    group.bench_function("monolithic_serial", |b| {
+        b.iter(|| {
+            for (_, fp) in &entries {
+                black_box(ChunkIndex::lookup(&mono, fp));
+            }
+        })
+    });
+    group.bench_function("app_aware_serial", |b| {
+        b.iter(|| {
+            for (app, fp) in &entries {
+                black_box(aware.lookup(*app, fp));
+            }
+        })
+    });
+    group.bench_function("app_aware_parallel_batch", |b| {
+        b.iter(|| black_box(aware.lookup_batch_parallel(black_box(&entries))))
+    });
+    group.finish();
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let entries = fingerprints(10_000);
+    let mut group = c.benchmark_group("index_insert_10k");
+    group.bench_function("monolithic", |b| {
+        b.iter(|| {
+            let mono = MonolithicIndex::new(1 << 20);
+            for (_, fp) in &entries {
+                mono.insert(*fp, ChunkEntry::new(8192, 0, 0));
+            }
+            black_box(ChunkIndex::len(&mono))
+        })
+    });
+    group.bench_function("app_aware", |b| {
+        b.iter(|| {
+            let aware = AppAwareIndex::new(1 << 16);
+            for (app, fp) in &entries {
+                aware.insert(*app, *fp, ChunkEntry::new(8192, 0, 0));
+            }
+            black_box(aware.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lookup, bench_insert);
+criterion_main!(benches);

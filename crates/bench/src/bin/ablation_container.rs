@@ -1,0 +1,94 @@
+//! Ablation: container size and tiny-file threshold sweeps.
+//!
+//! The container store trades request count (bigger containers ⇒ fewer
+//! PUTs ⇒ lower request cost, paper §III.F) against padding waste and
+//! restore granularity; the tiny-file filter trades metadata/index load
+//! against a small loss of dedup coverage. Both knobs are swept here with
+//! the full engine on the standard workload.
+//!
+//! Run: `cargo run --release -p aadedupe-bench --bin ablation_container`
+
+use aadedupe_bench::{fmt_bytes, print_table, run_evaluation_with, EvalConfig};
+use aadedupe_cloud::CloudSim;
+use aadedupe_core::{AaDedupe, AaDedupeConfig, BackupScheme};
+
+fn scheme(cloud: &CloudSim, container_size: usize, tiny: u64, key: String) -> Box<dyn BackupScheme> {
+    let config = AaDedupeConfig {
+        container_size,
+        tiny_threshold: tiny,
+        scheme_key: key,
+        ..AaDedupeConfig::default()
+    };
+    Box::new(AaDedupe::with_config(cloud.clone(), config))
+}
+
+fn main() {
+    let cfg = EvalConfig::from_env();
+    println!(
+        "Ablation — container size and tiny-file threshold ({} × {} sessions)",
+        fmt_bytes(cfg.dataset_bytes),
+        cfg.sessions
+    );
+
+    // ---- container size sweep (fixed 10 KiB tiny threshold) -------------
+    let sizes = [64usize << 10, 256 << 10, 1 << 20, 4 << 20];
+    let runs = run_evaluation_with(cfg, |cloud| {
+        sizes
+            .iter()
+            .map(|&s| scheme(cloud, s, 10 * 1024, format!("aa-c{}", s)))
+            .collect()
+    });
+    let mut rows = Vec::new();
+    for (&size, run) in sizes.iter().zip(&runs) {
+        let puts: u64 = run.reports.iter().map(|r| r.put_requests).sum();
+        let transferred: u64 = run.reports.iter().map(|r| r.transferred_bytes).sum();
+        let stored: u64 = run.reports.iter().map(|r| r.stored_bytes).sum();
+        let cost = run.cloud.monthly_cost();
+        rows.push(vec![
+            fmt_bytes(size as u64),
+            puts.to_string(),
+            fmt_bytes(transferred),
+            format!("{:.1}%", 100.0 * (transferred.saturating_sub(stored)) as f64 / transferred.max(1) as f64),
+            format!("${:.4}", cost.request),
+            format!("${:.4}", cost.total()),
+        ]);
+    }
+    print_table(
+        "Container-size sweep (10 KiB tiny threshold)",
+        &["container", "PUTs", "uploaded", "overhead+padding", "request $", "total $"],
+        &rows,
+    );
+
+    // ---- tiny-threshold sweep (fixed 1 MiB containers) -------------------
+    let thresholds: [u64; 4] = [0, 10 * 1024, 100 * 1024, 1 << 20];
+    let runs = run_evaluation_with(cfg, |cloud| {
+        thresholds
+            .iter()
+            .map(|&t| scheme(cloud, 1 << 20, t, format!("aa-t{}", t)))
+            .collect()
+    });
+    let mut rows = Vec::new();
+    for (&t, run) in thresholds.iter().zip(&runs) {
+        let stored: u64 = run.reports.iter().map(|r| r.stored_bytes).sum();
+        let logical: u64 = run.reports.iter().map(|r| r.logical_bytes).sum();
+        let chunks: u64 = run.reports.iter().map(|r| r.chunks_total).sum();
+        let cpu: f64 = run.reports.iter().map(|r| r.dedup_cpu.as_secs_f64()).sum();
+        rows.push(vec![
+            fmt_bytes(t),
+            chunks.to_string(),
+            format!("{:.3} s", cpu),
+            format!("{:.2}", logical as f64 / stored.max(1) as f64),
+            fmt_bytes(stored),
+        ]);
+    }
+    print_table(
+        "Tiny-file threshold sweep (1 MiB containers)",
+        &["threshold", "chunks", "dedup CPU", "cumulative DR", "stored"],
+        &rows,
+    );
+    println!(
+        "\nexpected shape: request cost falls with container size (padding waste grows \
+         slightly); raising the tiny threshold cuts chunk count and CPU but forfeits the \
+         dedup of mid-sized files, so DR drops past ~10 KiB — the paper's chosen knee."
+    );
+}

@@ -1,0 +1,269 @@
+//! Content Defined Chunking (CDC).
+//!
+//! Chunk boundaries are declared where the Rabin fingerprint of a sliding
+//! window (48 bytes in the paper, 1-byte step) over the data matches a
+//! divisor mask derived from the expected chunk size. Because the boundary
+//! depends only on nearby *content*, an insertion or deletion re-aligns
+//! within a chunk or two instead of shifting every subsequent boundary —
+//! the boundary-shifting problem that defeats static chunking on
+//! frequently-edited data (paper §II, Observation 3 discussion).
+//!
+//! The minimum chunk size suppresses pathological tiny chunks; the maximum
+//! forces a cut, which is precisely why CDC *loses* to SC on static data:
+//! long boundary-free stretches get cut at arbitrary max-size positions.
+
+use crate::{CdcParams, ChunkSpan, Chunker, ChunkingMethod, DEFAULT_CDC};
+use aadedupe_hashing::rabin::RollingHash;
+
+/// Boundary magic value compared against the masked rolling hash. Nonzero
+/// so that runs of zero bytes (whose window hash is 0) do not match at
+/// every position.
+const BOUNDARY_MAGIC: u64 = 0x1d3;
+
+/// Content-defined chunker with Rabin-window boundary detection.
+#[derive(Clone)]
+pub struct CdcChunker {
+    params: CdcParams,
+    /// Prototype rolling hash; cloned per file so `chunk(&self)` stays
+    /// shareable across threads. Cloning copies the precomputed tables
+    /// (~4 KiB), negligible against per-file work.
+    hasher: RollingHash,
+}
+
+impl Default for CdcChunker {
+    fn default() -> Self {
+        Self::new(DEFAULT_CDC)
+    }
+}
+
+impl CdcChunker {
+    /// Chunker with the given CDC parameters (validated on construction).
+    pub fn new(params: CdcParams) -> Self {
+        params.validate();
+        CdcChunker {
+            params,
+            hasher: RollingHash::new(params.window),
+        }
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> &CdcParams {
+        &self.params
+    }
+
+    /// Finds all chunk boundaries (cut positions, exclusive end offsets) in
+    /// `data`. The final position `data.len()` is always the last cut.
+    pub fn boundaries(&self, data: &[u8]) -> Vec<usize> {
+        let CdcParams { min_size, max_size, window, .. } = self.params;
+        let mask = self.params.mask();
+        let magic = BOUNDARY_MAGIC & mask;
+        let mut cuts = Vec::new();
+        let mut start = 0usize;
+        let mut rh = self.hasher.clone();
+
+        while start < data.len() {
+            let remaining = data.len() - start;
+            if remaining <= min_size {
+                cuts.push(data.len());
+                break;
+            }
+            // Prime the window with the `window` bytes preceding the first
+            // candidate cut at `start + min_size`.
+            rh.reset();
+            let prime_from = start + min_size - window;
+            for &b in &data[prime_from..start + min_size] {
+                rh.push(b);
+            }
+            let mut cut = None;
+            let upper = remaining.min(max_size);
+            // Candidate cut lengths: min_size ..= upper. The window for a
+            // cut of length L ends at byte start+L-1.
+            if rh.value() & mask == magic {
+                cut = Some(start + min_size);
+            } else {
+                for len in min_size + 1..=upper {
+                    let incoming = data[start + len - 1];
+                    let outgoing = data[start + len - 1 - window];
+                    rh.roll(outgoing, incoming);
+                    if rh.value() & mask == magic {
+                        cut = Some(start + len);
+                        break;
+                    }
+                }
+            }
+            let cut = cut.unwrap_or(start + upper);
+            cuts.push(cut);
+            start = cut;
+            if start == data.len() {
+                break;
+            }
+        }
+        cuts
+    }
+}
+
+impl Chunker for CdcChunker {
+    fn chunk(&self, data: &[u8]) -> Vec<ChunkSpan> {
+        if data.is_empty() {
+            return Vec::new();
+        }
+        let cuts = self.boundaries(data);
+        let mut spans = Vec::with_capacity(cuts.len());
+        let mut prev = 0;
+        for cut in cuts {
+            spans.push(ChunkSpan {
+                offset: prev,
+                len: cut - prev,
+                method: ChunkingMethod::Cdc,
+            });
+            prev = cut;
+        }
+        spans
+    }
+
+    fn method(&self) -> ChunkingMethod {
+        ChunkingMethod::Cdc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spans_cover;
+
+    fn pseudo_random(len: usize, seed: u64) -> Vec<u8> {
+        // xorshift64* stream; deterministic and cheap.
+        let mut x = seed | 1;
+        (0..len)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x.wrapping_mul(0x2545F4914F6CDD1D) >> 56) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn covers_input_and_respects_bounds() {
+        let chunker = CdcChunker::default();
+        let data = pseudo_random(400_000, 7);
+        let spans = chunker.chunk(&data);
+        assert!(spans_cover(&data, &spans));
+        let p = chunker.params();
+        for (i, s) in spans.iter().enumerate() {
+            assert!(s.len <= p.max_size, "span {i} too long: {}", s.len);
+            if i + 1 < spans.len() {
+                assert!(s.len >= p.min_size, "span {i} too short: {}", s.len);
+            }
+        }
+    }
+
+    #[test]
+    fn average_size_in_expected_range() {
+        let chunker = CdcChunker::default();
+        let data = pseudo_random(4_000_000, 99);
+        let spans = chunker.chunk(&data);
+        let avg = data.len() / spans.len();
+        // Min/max truncation shifts the mean; accept a generous band around
+        // the nominal 8 KiB (analytically ~ min + avg*(1-e^-2)-ish).
+        assert!(
+            (4 * 1024..=14 * 1024).contains(&avg),
+            "average chunk size {avg} outside expected band"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let chunker = CdcChunker::default();
+        let data = pseudo_random(300_000, 3);
+        assert_eq!(chunker.boundaries(&data), chunker.boundaries(&data));
+    }
+
+    #[test]
+    fn boundary_shift_resistance() {
+        // Insert a byte near the front; boundaries must re-align so that
+        // most chunk *contents* are preserved.
+        let chunker = CdcChunker::default();
+        let data = pseudo_random(1_000_000, 11);
+        let mut edited = data.clone();
+        edited.insert(1000, 0x42);
+
+        let digest = |d: &[u8]| -> std::collections::HashSet<[u8; 20]> {
+            chunker
+                .chunk(d)
+                .iter()
+                .map(|s| aadedupe_hashing::sha1(s.slice(d)))
+                .collect()
+        };
+        let a = digest(&data);
+        let b = digest(&edited);
+        let shared = a.intersection(&b).count();
+        assert!(
+            shared * 10 >= a.len() * 8,
+            "only {shared}/{} chunks survived a 1-byte insert",
+            a.len()
+        );
+    }
+
+    #[test]
+    fn static_chunking_would_not_survive_the_same_edit() {
+        // Contrast test for Observation 3's discussion: SC loses everything.
+        use crate::ScChunker;
+        let data = pseudo_random(1_000_000, 11);
+        let mut edited = data.clone();
+        edited.insert(0, 0x42);
+        let sc = ScChunker::new(8192);
+        let digest = |d: &[u8]| -> std::collections::HashSet<[u8; 20]> {
+            sc.chunk(d).iter().map(|s| aadedupe_hashing::sha1(s.slice(d))).collect()
+        };
+        let shared = digest(&data).intersection(&digest(&edited)).count();
+        assert!(shared <= 1, "SC unexpectedly preserved {shared} chunks");
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        let chunker = CdcChunker::default();
+        for n in [0usize, 1, 100, 2047, 2048, 2049] {
+            let data = pseudo_random(n, 5);
+            let spans = chunker.chunk(&data);
+            assert!(spans_cover(&data, &spans), "n={n}");
+            if n > 0 && n <= chunker.params().min_size {
+                assert_eq!(spans.len(), 1, "n={n} should be a single chunk");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_filled_data_forces_max_cuts() {
+        // All-zero windows hash to 0 != magic, so every chunk is forced at
+        // max_size — the degenerate case the magic constant guards.
+        let chunker = CdcChunker::default();
+        let data = vec![0u8; 100_000];
+        let spans = chunker.chunk(&data);
+        for s in &spans[..spans.len() - 1] {
+            assert_eq!(s.len, chunker.params().max_size);
+        }
+    }
+
+    #[test]
+    fn custom_params() {
+        let p = CdcParams { min_size: 256, avg_size: 1024, max_size: 4096, window: 32 };
+        let chunker = CdcChunker::new(p);
+        let data = pseudo_random(200_000, 21);
+        let spans = chunker.chunk(&data);
+        assert!(spans_cover(&data, &spans));
+        let avg = data.len() / spans.len();
+        assert!((512..=2048).contains(&avg), "avg {avg}");
+    }
+
+    #[test]
+    fn boundaries_end_with_len() {
+        let chunker = CdcChunker::default();
+        let data = pseudo_random(50_000, 13);
+        let cuts = chunker.boundaries(&data);
+        assert_eq!(*cuts.last().unwrap(), data.len());
+        // Strictly increasing.
+        assert!(cuts.windows(2).all(|w| w[0] < w[1]));
+    }
+}

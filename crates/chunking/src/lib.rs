@@ -1,0 +1,184 @@
+//! Chunking substrate for AA-Dedupe.
+//!
+//! AA-Dedupe's "intelligent chunker" dispatches each file to one of three
+//! chunking strategies according to its application category (paper §III.C):
+//!
+//! * [`wfc`] — **Whole File Chunking**: the entire file is one chunk. Used
+//!   for compressed applications (AVI, MP3, RAR, …), whose sub-file
+//!   redundancy is negligible (Observation 1).
+//! * [`sc`] — **Static Chunking**: fixed-size 8 KiB chunks. Used for static
+//!   uncompressed applications and VM disk images, where SC matches or beats
+//!   CDC (Observation 3) because CDC force-cuts many max-length chunks.
+//! * [`cdc`] — **Content Defined Chunking**: variable-size chunks delimited
+//!   where a 48-byte rolling Rabin fingerprint matches a divisor mask;
+//!   min 2 KiB / average 8 KiB / max 16 KiB. Used for dynamic uncompressed
+//!   applications, where it survives the boundary-shifting problem caused by
+//!   inserts/deletes.
+//!
+//! All chunkers implement the [`Chunker`] trait over byte slices and return
+//! byte *ranges* so callers can avoid copying. The crate also provides
+//! [`params::CdcParams`] for parameter sweeps and the [`ChunkingMethod`] tag
+//! used across the workspace.
+
+pub mod cdc;
+pub mod params;
+pub mod sc;
+pub mod stream;
+pub mod wfc;
+
+pub use cdc::CdcChunker;
+pub use params::{CdcParams, DEFAULT_CDC, DEFAULT_SC_SIZE};
+pub use sc::ScChunker;
+pub use stream::{StreamChunker, StreamedChunk};
+pub use wfc::WfcChunker;
+
+use std::fmt;
+
+/// Which chunking strategy produced a chunk — carried through indexes,
+/// containers and reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ChunkingMethod {
+    /// Whole File Chunking.
+    Wfc,
+    /// Static (fixed-size) Chunking.
+    Sc,
+    /// Content Defined Chunking.
+    Cdc,
+}
+
+impl ChunkingMethod {
+    /// Stable single-byte tag for on-disk encodings.
+    pub const fn tag(self) -> u8 {
+        match self {
+            ChunkingMethod::Wfc => 1,
+            ChunkingMethod::Sc => 2,
+            ChunkingMethod::Cdc => 3,
+        }
+    }
+
+    /// Inverse of [`ChunkingMethod::tag`].
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            1 => Some(ChunkingMethod::Wfc),
+            2 => Some(ChunkingMethod::Sc),
+            3 => Some(ChunkingMethod::Cdc),
+            _ => None,
+        }
+    }
+
+    /// Human-readable name, as used in harness output.
+    pub const fn name(self) -> &'static str {
+        match self {
+            ChunkingMethod::Wfc => "WFC",
+            ChunkingMethod::Sc => "SC",
+            ChunkingMethod::Cdc => "CDC",
+        }
+    }
+}
+
+impl fmt::Display for ChunkingMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A chunk of file data: its byte range within the source plus the strategy
+/// that produced it. Chunkers return ranges, not copies; callers slice the
+/// source buffer themselves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkSpan {
+    /// Byte offset of the chunk within the source.
+    pub offset: usize,
+    /// Chunk length in bytes.
+    pub len: usize,
+    /// Strategy that produced the chunk.
+    pub method: ChunkingMethod,
+}
+
+impl ChunkSpan {
+    /// End offset (exclusive).
+    pub fn end(&self) -> usize {
+        self.offset + self.len
+    }
+
+    /// The chunk's bytes within `source`.
+    pub fn slice<'a>(&self, source: &'a [u8]) -> &'a [u8] {
+        &source[self.offset..self.end()]
+    }
+}
+
+/// A chunking strategy over an in-memory file.
+pub trait Chunker {
+    /// Splits `data` into contiguous, non-overlapping spans that exactly
+    /// cover it (empty input yields no spans).
+    fn chunk(&self, data: &[u8]) -> Vec<ChunkSpan>;
+
+    /// The method tag this chunker stamps on its spans.
+    fn method(&self) -> ChunkingMethod;
+}
+
+/// Validates the fundamental chunker invariant: spans are contiguous,
+/// non-empty, and exactly cover `data`. Used by tests and debug assertions.
+pub fn spans_cover(data: &[u8], spans: &[ChunkSpan]) -> bool {
+    if data.is_empty() {
+        return spans.is_empty();
+    }
+    let mut cursor = 0;
+    for s in spans {
+        if s.len == 0 || s.offset != cursor {
+            return false;
+        }
+        cursor = s.end();
+    }
+    cursor == data.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn method_tag_round_trip() {
+        for m in [ChunkingMethod::Wfc, ChunkingMethod::Sc, ChunkingMethod::Cdc] {
+            assert_eq!(ChunkingMethod::from_tag(m.tag()), Some(m));
+        }
+        assert_eq!(ChunkingMethod::from_tag(0), None);
+        assert_eq!(ChunkingMethod::from_tag(9), None);
+    }
+
+    #[test]
+    fn span_slicing() {
+        let data = b"0123456789";
+        let s = ChunkSpan {
+            offset: 3,
+            len: 4,
+            method: ChunkingMethod::Sc,
+        };
+        assert_eq!(s.slice(data), b"3456");
+        assert_eq!(s.end(), 7);
+    }
+
+    #[test]
+    fn spans_cover_checks() {
+        let data = b"abcdef";
+        let ok = vec![
+            ChunkSpan { offset: 0, len: 2, method: ChunkingMethod::Sc },
+            ChunkSpan { offset: 2, len: 4, method: ChunkingMethod::Sc },
+        ];
+        assert!(spans_cover(data, &ok));
+        let gap = vec![
+            ChunkSpan { offset: 0, len: 2, method: ChunkingMethod::Sc },
+            ChunkSpan { offset: 3, len: 3, method: ChunkingMethod::Sc },
+        ];
+        assert!(!spans_cover(data, &gap));
+        let short = vec![ChunkSpan { offset: 0, len: 5, method: ChunkingMethod::Sc }];
+        assert!(!spans_cover(data, &short));
+        let empty_span = vec![
+            ChunkSpan { offset: 0, len: 0, method: ChunkingMethod::Sc },
+            ChunkSpan { offset: 0, len: 6, method: ChunkingMethod::Sc },
+        ];
+        assert!(!spans_cover(data, &empty_span));
+        assert!(spans_cover(b"", &[]));
+        assert!(!spans_cover(b"", &ok));
+    }
+}

@@ -1,0 +1,87 @@
+//! Chunking parameters.
+//!
+//! The paper's evaluation fixes (§IV.A): 8 KiB static chunks; CDC with an
+//! 8 KiB expected chunk size, 2 KiB minimum, 16 KiB maximum, a 48-byte
+//! Rabin sliding window and 1-byte step. These are the workspace defaults;
+//! the ablation benches sweep them.
+
+/// Default static-chunking size: 8 KiB.
+pub const DEFAULT_SC_SIZE: usize = 8 * 1024;
+
+/// Content-defined chunking parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CdcParams {
+    /// Minimum chunk size in bytes; no boundary is accepted before this.
+    pub min_size: usize,
+    /// Expected (average) chunk size in bytes. Must be a power of two: the
+    /// boundary condition is `rolling_hash & (avg_size - 1) == magic`.
+    pub avg_size: usize,
+    /// Maximum chunk size; a boundary is forced here (the paper's
+    /// Observation 3 notes these forced cuts hurt CDC on static data).
+    pub max_size: usize,
+    /// Rolling-hash window in bytes (the paper uses 48).
+    pub window: usize,
+}
+
+impl CdcParams {
+    /// Validates the parameter set, panicking with a description on misuse.
+    pub fn validate(&self) {
+        assert!(self.min_size > 0, "min_size must be positive");
+        assert!(
+            self.avg_size.is_power_of_two(),
+            "avg_size must be a power of two (divisor-mask boundary test)"
+        );
+        assert!(
+            self.min_size <= self.avg_size && self.avg_size <= self.max_size,
+            "require min <= avg <= max"
+        );
+        assert!(self.window > 0, "window must be positive");
+        assert!(
+            self.window <= self.min_size,
+            "window must fit inside the minimum chunk"
+        );
+    }
+
+    /// Boundary mask derived from `avg_size`.
+    pub fn mask(&self) -> u64 {
+        (self.avg_size as u64) - 1
+    }
+}
+
+/// The paper's CDC configuration: min 2 KiB, average 8 KiB, max 16 KiB,
+/// 48-byte window.
+pub const DEFAULT_CDC: CdcParams = CdcParams {
+    min_size: 2 * 1024,
+    avg_size: 8 * 1024,
+    max_size: 16 * 1024,
+    window: 48,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_params_are_valid() {
+        DEFAULT_CDC.validate();
+        assert_eq!(DEFAULT_CDC.mask(), 8191);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_avg_rejected() {
+        CdcParams { min_size: 1024, avg_size: 3000, max_size: 8192, window: 48 }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "min <= avg <= max")]
+    fn inverted_bounds_rejected() {
+        CdcParams { min_size: 8192, avg_size: 4096, max_size: 16384, window: 48 }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "window must fit")]
+    fn oversized_window_rejected() {
+        CdcParams { min_size: 32, avg_size: 64, max_size: 128, window: 48 }.validate();
+    }
+}

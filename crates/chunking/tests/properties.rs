@@ -1,0 +1,133 @@
+//! Property-based tests for the chunking substrate.
+
+use proptest::prelude::*;
+
+use aadedupe_chunking::{
+    spans_cover, CdcChunker, CdcParams, Chunker, ChunkingMethod, ScChunker, WfcChunker,
+};
+
+/// Arbitrary CDC parameter sets (valid by construction).
+fn arb_cdc_params() -> impl Strategy<Value = CdcParams> {
+    (6u32..9, 1u32..3, 1u32..3, 8usize..49).prop_map(|(avg_pow, min_div, max_mul, window)| {
+        let avg = 1usize << (avg_pow + 4); // 1 KiB .. 4 KiB
+        CdcParams {
+            min_size: (avg >> min_div).max(window),
+            avg_size: avg,
+            max_size: avg << max_mul,
+            window,
+        }
+    })
+}
+
+proptest! {
+    /// Every chunker tiles every input exactly.
+    #[test]
+    fn tiling(data in proptest::collection::vec(any::<u8>(), 0..60_000)) {
+        for c in [&WfcChunker::new() as &dyn Chunker, &ScChunker::new(4096), &CdcChunker::default()] {
+            let spans = c.chunk(&data);
+            prop_assert!(spans_cover(&data, &spans), "{}", c.method());
+            for s in &spans {
+                prop_assert_eq!(s.method, c.method());
+            }
+        }
+    }
+
+    /// SC chunk counts and sizes are exactly determined by the length.
+    #[test]
+    fn sc_arithmetic(len in 0usize..100_000, size in 1usize..10_000) {
+        let data = vec![0u8; len];
+        let spans = ScChunker::new(size).chunk(&data);
+        prop_assert_eq!(spans.len(), len.div_ceil(size));
+        for (i, s) in spans.iter().enumerate() {
+            if i + 1 < spans.len() {
+                prop_assert_eq!(s.len, size);
+            } else {
+                prop_assert_eq!(s.len, len - i * size);
+            }
+        }
+    }
+
+    /// CDC respects bounds for arbitrary parameter sets and inputs, and is
+    /// deterministic.
+    #[test]
+    fn cdc_bounds_and_determinism(
+        params in arb_cdc_params(),
+        data in proptest::collection::vec(any::<u8>(), 0..80_000),
+    ) {
+        let c = CdcChunker::new(params);
+        let spans = c.chunk(&data);
+        prop_assert!(spans_cover(&data, &spans));
+        for (i, s) in spans.iter().enumerate() {
+            prop_assert!(s.len <= params.max_size, "span {} length {}", i, s.len);
+            if i + 1 < spans.len() {
+                prop_assert!(s.len >= params.min_size, "span {} length {}", i, s.len);
+            }
+        }
+        prop_assert_eq!(c.chunk(&data), spans);
+    }
+
+    /// Content-defined boundaries are *local*: bytes far after an edit do
+    /// not change earlier boundaries.
+    #[test]
+    fn cdc_boundaries_are_prefix_stable(
+        prefix in proptest::collection::vec(any::<u8>(), 20_000..40_000),
+        suffix_a in proptest::collection::vec(any::<u8>(), 1000..4000),
+        suffix_b in proptest::collection::vec(any::<u8>(), 1000..4000),
+    ) {
+        let c = CdcChunker::default();
+        let mut a = prefix.clone();
+        a.extend_from_slice(&suffix_a);
+        let mut b = prefix.clone();
+        b.extend_from_slice(&suffix_b);
+        let cuts_a = c.boundaries(&a);
+        let cuts_b = c.boundaries(&b);
+        // All cuts strictly inside the shared prefix (with max_size slack
+        // before the divergence point) must be identical.
+        let safe = prefix.len().saturating_sub(c.params().max_size);
+        let pa: Vec<_> = cuts_a.iter().filter(|&&x| x < safe).collect();
+        let pb: Vec<_> = cuts_b.iter().filter(|&&x| x < safe).collect();
+        prop_assert_eq!(pa, pb);
+    }
+
+    /// A prefix insertion preserves most CDC chunk *contents* (the
+    /// boundary-shift resistance SC lacks). Requires content with entropy:
+    /// constant/low-entropy data has no content anchors, so CDC lawfully
+    /// degrades to position-dependent max-size cuts there — we generate
+    /// from a seeded xorshift stream rather than raw arbitrary vectors.
+    #[test]
+    fn cdc_survives_prefix_insertion(
+        seed in any::<u64>(),
+        len in 250_000usize..400_000,
+        inserted in any::<u8>(),
+    ) {
+        // len must be large (~30+ chunks): short inputs can consist
+        // entirely of forced max-size cuts (probability ~e^-(len/8192)),
+        // where re-synchronisation after the insertion never happens and
+        // the property legitimately fails.
+        let mut x = seed | 1;
+        let data: Vec<u8> = (0..len)
+            .map(|_| { x ^= x << 13; x ^= x >> 7; x ^= x << 17; (x >> 32) as u8 })
+            .collect();
+        let c = CdcChunker::default();
+        let mut edited = Vec::with_capacity(data.len() + 1);
+        edited.push(inserted);
+        edited.extend_from_slice(&data);
+
+        let digest = |d: &[u8]| -> std::collections::HashSet<[u8; 20]> {
+            c.chunk(d).iter().map(|s| aadedupe_hashing::sha1(s.slice(d))).collect()
+        };
+        let a = digest(&data);
+        let b = digest(&edited);
+        let shared = a.intersection(&b).count();
+        // At least half the chunks must survive (usually ~all but one).
+        prop_assert!(shared * 2 >= a.len(), "only {}/{} chunks survived", shared, a.len());
+    }
+
+    /// Method tags round-trip for all three methods.
+    #[test]
+    fn method_tags(_x in any::<u8>()) {
+        for m in [ChunkingMethod::Wfc, ChunkingMethod::Sc, ChunkingMethod::Cdc] {
+            prop_assert_eq!(ChunkingMethod::from_tag(m.tag()), Some(m));
+        }
+    }
+}

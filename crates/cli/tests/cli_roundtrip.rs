@@ -1,0 +1,160 @@
+//! End-to-end CLI test: drive the `aabackup` binary against real
+//! directories.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> PathBuf {
+    // target/debug/aabackup relative to this crate's target dir.
+    let mut p = PathBuf::from(env!("CARGO_BIN_EXE_aabackup"));
+    assert!(p.exists(), "{p:?}");
+    p = p.canonicalize().unwrap();
+    p
+}
+
+struct Dirs {
+    root: PathBuf,
+}
+
+impl Dirs {
+    fn new(tag: &str) -> Self {
+        let root = std::env::temp_dir().join(format!(
+            "aabackup-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&root);
+        fs::create_dir_all(root.join("src/sub")).unwrap();
+        fs::create_dir_all(root.join("repo")).unwrap();
+        fs::create_dir_all(root.join("out")).unwrap();
+        Self { root }
+    }
+
+    fn src(&self) -> PathBuf {
+        self.root.join("src")
+    }
+
+    fn repo(&self) -> PathBuf {
+        self.root.join("repo")
+    }
+
+    fn out(&self) -> PathBuf {
+        self.root.join("out")
+    }
+}
+
+impl Drop for Dirs {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+fn run(args: &[&str]) -> (bool, String) {
+    let out = Command::new(bin()).args(args).output().expect("spawn aabackup");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.success(), text)
+}
+
+#[test]
+fn backup_restore_cycle_on_disk() {
+    let dirs = Dirs::new("cycle");
+    fs::write(dirs.src().join("report.doc"), b"words ".repeat(5000)).unwrap();
+    fs::write(dirs.src().join("sub/photo.jpg"), vec![7u8; 40_000]).unwrap();
+    fs::write(dirs.src().join("note.txt"), b"tiny note").unwrap();
+
+    let repo = dirs.repo();
+    let repo_s = repo.to_str().unwrap();
+    let src_s = dirs.src();
+    let src_s = src_s.to_str().unwrap();
+
+    // Session 0.
+    let (ok, out) = run(&["backup", "--repo", repo_s, src_s]);
+    assert!(ok, "{out}");
+    assert!(out.contains("session 0"), "{out}");
+
+    // Session 1 over unchanged data: everything dedupes except the tiny
+    // note, which bypasses the index by design (paper's size filter).
+    let (ok, out) = run(&["backup", "--repo", repo_s, src_s]);
+    assert!(ok, "{out}");
+    assert!(out.contains("session 1"), "{out}");
+    assert!(out.contains("new data 9 B"), "{out}");
+
+    // Sessions listing.
+    let (ok, out) = run(&["sessions", "--repo", repo_s]);
+    assert!(ok, "{out}");
+    assert!(out.contains("session 0") && out.contains("session 1"), "{out}");
+
+    // Restore session 0 and compare bytes.
+    let out_dir = dirs.out();
+    let (ok, text) = run(&["restore", "--repo", repo_s, "0", out_dir.to_str().unwrap()]);
+    assert!(ok, "{text}");
+    assert_eq!(
+        fs::read(out_dir.join("report.doc")).unwrap(),
+        b"words ".repeat(5000)
+    );
+    assert_eq!(fs::read(out_dir.join("sub/photo.jpg")).unwrap(), vec![7u8; 40_000]);
+    assert_eq!(fs::read(out_dir.join("note.txt")).unwrap(), b"tiny note");
+
+    // Single-file restore.
+    let single = dirs.root.join("single.doc");
+    let (ok, text) = run(&[
+        "restore-file", "--repo", repo_s, "0", "report.doc",
+        single.to_str().unwrap(),
+    ]);
+    assert!(ok, "{text}");
+    assert_eq!(fs::read(&single).unwrap(), b"words ".repeat(5000));
+
+    // Stats run cleanly.
+    let (ok, out) = run(&["stats", "--repo", repo_s]);
+    assert!(ok, "{out}");
+    assert!(out.contains("sessions:"), "{out}");
+
+    // Delete session 0; session 1 must still restore.
+    let (ok, out) = run(&["delete", "--repo", repo_s, "0"]);
+    assert!(ok, "{out}");
+    let out2 = dirs.root.join("out2");
+    fs::create_dir_all(&out2).unwrap();
+    let (ok, text) = run(&["restore", "--repo", repo_s, "1", out2.to_str().unwrap()]);
+    assert!(ok, "{text}");
+    assert_eq!(fs::read(out2.join("report.doc")).unwrap(), b"words ".repeat(5000));
+    // And the deleted session is gone.
+    let (ok, _) = run(&["restore", "--repo", repo_s, "0", out2.to_str().unwrap()]);
+    assert!(!ok);
+}
+
+#[test]
+fn incremental_change_stores_only_delta() {
+    let dirs = Dirs::new("delta");
+    let repo = dirs.repo();
+    let repo_s = repo.to_str().unwrap();
+    let src = dirs.src();
+
+    // A 160 KB "static" PDF.
+    let base: Vec<u8> = (0..160_000u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
+    fs::write(src.join("doc.pdf"), &base).unwrap();
+    let (ok, out) = run(&["backup", "--repo", repo_s, src.to_str().unwrap()]);
+    assert!(ok, "{out}");
+
+    // Flip one byte in place; only ~one 8 KiB chunk should be new.
+    let mut edited = base.clone();
+    edited[80_000] ^= 1;
+    fs::write(src.join("doc.pdf"), &edited).unwrap();
+    let (ok, out) = run(&["backup", "--repo", repo_s, src.to_str().unwrap()]);
+    assert!(ok, "{out}");
+    // "new data 8.00 KiB" (exactly one SC chunk).
+    assert!(out.contains("new data 8.00 KiB"), "{out}");
+}
+
+#[test]
+fn bad_usage_exits_nonzero() {
+    let (ok, _) = run(&["frobnicate"]);
+    assert!(!ok);
+    let (ok, _) = run(&["backup"]);
+    assert!(!ok);
+    let (ok, _) = run(&["restore", "--repo", "/nonexistent-hopefully", "notanumber", "/tmp"]);
+    assert!(!ok);
+}

@@ -1,0 +1,44 @@
+//! The object-store backend abstraction.
+//!
+//! [`CloudSim`](crate::CloudSim) models WAN and pricing identically for
+//! any backend; the backend decides where object bytes live. Two are
+//! provided: the in-memory [`ObjectStore`](crate::ObjectStore) (fast,
+//! used by tests and the evaluation harness) and the filesystem-backed
+//! [`FsObjectStore`](crate::FsObjectStore) (durable, used by the
+//! `aabackup` CLI).
+
+use crate::objectstore::ObjectStoreStats;
+
+/// A flat key → bytes object namespace with request/byte accounting.
+///
+/// Implementations must be thread-safe; accounting counters cover every
+/// operation including misses.
+pub trait ObjectBackend: Send + Sync {
+    /// Stores `bytes` under `key`, replacing any previous object.
+    fn put(&self, key: &str, bytes: Vec<u8>);
+
+    /// Fetches the object at `key`.
+    fn get(&self, key: &str) -> Option<Vec<u8>>;
+
+    /// Deletes the object at `key`; returns whether it existed.
+    fn delete(&self, key: &str) -> bool;
+
+    /// True if an object exists at `key` (not counted as a request).
+    fn contains(&self, key: &str) -> bool;
+
+    /// Keys starting with `prefix`, in lexicographic order.
+    fn list(&self, prefix: &str) -> Vec<String>;
+
+    /// Number of stored objects.
+    fn object_count(&self) -> usize;
+
+    /// Total bytes currently stored.
+    fn stored_bytes(&self) -> u64;
+
+    /// Accounting snapshot.
+    fn stats(&self) -> ObjectStoreStats;
+
+    /// Corrupts one byte of the object at `key` (failure injection);
+    /// returns false if the object is missing or empty.
+    fn corrupt(&self, key: &str, byte_index: usize) -> bool;
+}

@@ -1,0 +1,226 @@
+//! In-memory cloud object store.
+//!
+//! Stands in for Amazon S3 in the paper's experiments (see DESIGN.md §5):
+//! a flat key → bytes namespace with put/get/delete/list and exact
+//! request/byte accounting, which the WAN and price models consume.
+
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+
+/// Per-operation accounting counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ObjectStoreStats {
+    /// PUT requests served.
+    pub put_requests: u64,
+    /// GET requests served (including misses).
+    pub get_requests: u64,
+    /// DELETE requests served.
+    pub delete_requests: u64,
+    /// Bytes received by PUTs.
+    pub bytes_in: u64,
+    /// Bytes returned by GETs.
+    pub bytes_out: u64,
+}
+
+/// A flat in-memory object namespace with accounting.
+///
+/// `BTreeMap` keeps listings ordered, matching S3's lexicographic listing
+/// semantics.
+pub struct ObjectStore {
+    inner: RwLock<Inner>,
+}
+
+struct Inner {
+    objects: BTreeMap<String, Vec<u8>>,
+    stats: ObjectStoreStats,
+}
+
+impl Default for ObjectStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ObjectStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        ObjectStore {
+            inner: RwLock::new(Inner {
+                objects: BTreeMap::new(),
+                stats: ObjectStoreStats::default(),
+            }),
+        }
+    }
+
+    /// Stores `bytes` under `key`, replacing any previous object.
+    pub fn put(&self, key: &str, bytes: Vec<u8>) {
+        let mut g = self.inner.write();
+        g.stats.put_requests += 1;
+        g.stats.bytes_in += bytes.len() as u64;
+        g.objects.insert(key.to_owned(), bytes);
+    }
+
+    /// Fetches the object at `key`.
+    pub fn get(&self, key: &str) -> Option<Vec<u8>> {
+        let mut g = self.inner.write();
+        g.stats.get_requests += 1;
+        let out = g.objects.get(key).cloned();
+        if let Some(o) = &out {
+            g.stats.bytes_out += o.len() as u64;
+        }
+        out
+    }
+
+    /// Deletes the object at `key`; returns whether it existed.
+    pub fn delete(&self, key: &str) -> bool {
+        let mut g = self.inner.write();
+        g.stats.delete_requests += 1;
+        g.objects.remove(key).is_some()
+    }
+
+    /// True if an object exists at `key` (not counted as a request).
+    pub fn contains(&self, key: &str) -> bool {
+        self.inner.read().objects.contains_key(key)
+    }
+
+    /// Keys starting with `prefix`, in lexicographic order.
+    pub fn list(&self, prefix: &str) -> Vec<String> {
+        self.inner
+            .read()
+            .objects
+            .keys()
+            .filter(|k| k.starts_with(prefix))
+            .cloned()
+            .collect()
+    }
+
+    /// Number of stored objects.
+    pub fn object_count(&self) -> usize {
+        self.inner.read().objects.len()
+    }
+
+    /// Total bytes currently stored.
+    pub fn stored_bytes(&self) -> u64 {
+        self.inner.read().objects.values().map(|v| v.len() as u64).sum()
+    }
+
+    /// Accounting snapshot.
+    pub fn stats(&self) -> ObjectStoreStats {
+        self.inner.read().stats
+    }
+
+    /// Corrupts one byte of the object at `key` (failure injection for
+    /// tests); returns false if the object is missing or empty.
+    pub fn corrupt(&self, key: &str, byte_index: usize) -> bool {
+        let mut g = self.inner.write();
+        match g.objects.get_mut(key) {
+            Some(v) if !v.is_empty() => {
+                let i = byte_index % v.len();
+                v[i] ^= 0xff;
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+impl crate::backend::ObjectBackend for ObjectStore {
+    fn put(&self, key: &str, bytes: Vec<u8>) {
+        ObjectStore::put(self, key, bytes)
+    }
+
+    fn get(&self, key: &str) -> Option<Vec<u8>> {
+        ObjectStore::get(self, key)
+    }
+
+    fn delete(&self, key: &str) -> bool {
+        ObjectStore::delete(self, key)
+    }
+
+    fn contains(&self, key: &str) -> bool {
+        ObjectStore::contains(self, key)
+    }
+
+    fn list(&self, prefix: &str) -> Vec<String> {
+        ObjectStore::list(self, prefix)
+    }
+
+    fn object_count(&self) -> usize {
+        ObjectStore::object_count(self)
+    }
+
+    fn stored_bytes(&self) -> u64 {
+        ObjectStore::stored_bytes(self)
+    }
+
+    fn stats(&self) -> ObjectStoreStats {
+        ObjectStore::stats(self)
+    }
+
+    fn corrupt(&self, key: &str, byte_index: usize) -> bool {
+        ObjectStore::corrupt(self, key, byte_index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_delete_cycle() {
+        let s = ObjectStore::new();
+        s.put("a/1", vec![1, 2, 3]);
+        assert_eq!(s.get("a/1"), Some(vec![1, 2, 3]));
+        assert!(s.contains("a/1"));
+        assert!(s.delete("a/1"));
+        assert!(!s.delete("a/1"));
+        assert_eq!(s.get("a/1"), None);
+    }
+
+    #[test]
+    fn put_replaces() {
+        let s = ObjectStore::new();
+        s.put("k", vec![1]);
+        s.put("k", vec![2, 3]);
+        assert_eq!(s.get("k"), Some(vec![2, 3]));
+        assert_eq!(s.object_count(), 1);
+        assert_eq!(s.stored_bytes(), 2);
+    }
+
+    #[test]
+    fn listing_is_prefix_filtered_and_ordered() {
+        let s = ObjectStore::new();
+        s.put("containers/2", vec![]);
+        s.put("containers/1", vec![]);
+        s.put("index/snap", vec![]);
+        assert_eq!(s.list("containers/"), vec!["containers/1", "containers/2"]);
+        assert_eq!(s.list(""), vec!["containers/1", "containers/2", "index/snap"]);
+        assert!(s.list("zzz").is_empty());
+    }
+
+    #[test]
+    fn accounting() {
+        let s = ObjectStore::new();
+        s.put("a", vec![0u8; 100]);
+        s.put("b", vec![0u8; 50]);
+        s.get("a");
+        s.get("missing");
+        s.delete("b");
+        let st = s.stats();
+        assert_eq!(st.put_requests, 2);
+        assert_eq!(st.get_requests, 2);
+        assert_eq!(st.delete_requests, 1);
+        assert_eq!(st.bytes_in, 150);
+        assert_eq!(st.bytes_out, 100);
+        assert_eq!(s.stored_bytes(), 100);
+    }
+
+    #[test]
+    fn corruption_injection() {
+        let s = ObjectStore::new();
+        s.put("x", vec![0u8; 10]);
+        assert!(s.corrupt("x", 3));
+        assert_eq!(s.get("x").unwrap()[3], 0xff);
+        assert!(!s.corrupt("missing", 0));
+    }
+}

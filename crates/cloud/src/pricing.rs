@@ -1,0 +1,129 @@
+//! Cloud pricing model.
+//!
+//! The paper (§IV.E) prices its workloads with Amazon S3's April 2011
+//! tariff: **$0.14 per GB·month** of storage, **$0.10 per GB** of upload
+//! transfer, and **$0.01 per 1,000 upload requests**, and models total cost
+//! as
+//!
+//! ```text
+//! CC = DS/DR · (SP + TP) + OC · OP
+//! ```
+//!
+//! (dataset size over dedup ratio — i.e. stored/transferred bytes — times
+//! storage+transfer price, plus operation count times operation price).
+
+/// Pricing constants (US dollars).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PriceModel {
+    /// Storage price, $ per GB per month (SP).
+    pub storage_per_gb_month: f64,
+    /// Upload transfer price, $ per GB (TP).
+    pub transfer_per_gb: f64,
+    /// Upload request price, $ per request (OP; S3 charged per 1,000).
+    pub per_request: f64,
+}
+
+/// Bytes per GB in pricing arithmetic (S3 bills decimal-ish GiB; the paper
+/// does not distinguish — we use 2^30 consistently for all schemes, which
+/// cancels in every ratio).
+pub const BYTES_PER_GB: f64 = (1u64 << 30) as f64;
+
+impl PriceModel {
+    /// Amazon S3, April 2011 (the paper's constants).
+    pub const fn s3_april_2011() -> Self {
+        PriceModel {
+            storage_per_gb_month: 0.14,
+            transfer_per_gb: 0.10,
+            per_request: 0.01 / 1000.0,
+        }
+    }
+
+    /// One month's cost for `stored_bytes` resident, `uploaded_bytes`
+    /// transferred in, and `requests` upload operations.
+    pub fn monthly_cost(&self, stored_bytes: u64, uploaded_bytes: u64, requests: u64) -> CostBreakdown {
+        let storage = stored_bytes as f64 / BYTES_PER_GB * self.storage_per_gb_month;
+        let transfer = uploaded_bytes as f64 / BYTES_PER_GB * self.transfer_per_gb;
+        let request = requests as f64 * self.per_request;
+        CostBreakdown { storage, transfer, request }
+    }
+}
+
+impl Default for PriceModel {
+    fn default() -> Self {
+        Self::s3_april_2011()
+    }
+}
+
+/// A cost split into the three billed components.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CostBreakdown {
+    /// Storage component ($).
+    pub storage: f64,
+    /// Upload transfer component ($).
+    pub transfer: f64,
+    /// Request component ($).
+    pub request: f64,
+}
+
+impl CostBreakdown {
+    /// Total monthly cost ($).
+    pub fn total(&self) -> f64 {
+        self.storage + self.transfer + self.request
+    }
+
+    /// Component-wise sum.
+    pub fn add(&self, other: &CostBreakdown) -> CostBreakdown {
+        CostBreakdown {
+            storage: self.storage + other.storage,
+            transfer: self.transfer + other.transfer,
+            request: self.request + other.request,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn s3_constants() {
+        let p = PriceModel::s3_april_2011();
+        assert!((p.storage_per_gb_month - 0.14).abs() < 1e-12);
+        assert!((p.transfer_per_gb - 0.10).abs() < 1e-12);
+        assert!((p.per_request - 1e-5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn one_gb_once() {
+        let p = PriceModel::s3_april_2011();
+        let gb = 1u64 << 30;
+        let c = p.monthly_cost(gb, gb, 1000);
+        assert!((c.storage - 0.14).abs() < 1e-9);
+        assert!((c.transfer - 0.10).abs() < 1e-9);
+        assert!((c.request - 0.01).abs() < 1e-9);
+        assert!((c.total() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn request_cost_dominates_tiny_transfers() {
+        // 100,000 one-KB uploads: request cost ($1.00) dwarfs transfer cost
+        // (~$0.0095) — the effect container aggregation eliminates.
+        let p = PriceModel::s3_april_2011();
+        let c = p.monthly_cost(0, 100_000 * 1024, 100_000);
+        assert!(c.request > 50.0 * c.transfer);
+    }
+
+    #[test]
+    fn breakdown_add() {
+        let a = CostBreakdown { storage: 1.0, transfer: 2.0, request: 3.0 };
+        let b = CostBreakdown { storage: 0.5, transfer: 0.5, request: 0.5 };
+        let c = a.add(&b);
+        assert!((c.total() - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_usage_is_free() {
+        let c = PriceModel::default().monthly_cost(0, 0, 0);
+        assert_eq!(c.total(), 0.0);
+    }
+}

@@ -1,0 +1,295 @@
+//! Container byte layout.
+//!
+//! A container is self-describing (paper §III.F): "a metadata section
+//! includes the chunk descriptors for the stored chunks". Layout (little-
+//! endian):
+//!
+//! ```text
+//! magic        "AACON\x01"        6 bytes
+//! container_id u64
+//! chunk_count  u32
+//! data_len     u64                length of the data section
+//! descriptors  chunk_count ×:
+//!   fingerprint                   1 + digest_len bytes
+//!   offset u32                    within the data section
+//!   len    u32
+//! data         data_len bytes
+//! padding      zeros to the fixed container size (absent for oversized
+//!              single-chunk containers)
+//! ```
+
+use aadedupe_hashing::Fingerprint;
+use std::fmt;
+
+/// Magic prefix of every container object.
+pub const CONTAINER_MAGIC: &[u8; 6] = b"AACON\x01";
+
+/// Fixed header size before the descriptor table.
+pub const HEADER_LEN: usize = 6 + 8 + 4 + 8;
+
+/// One chunk's metadata inside a container.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkDescriptor {
+    /// The chunk's fingerprint.
+    pub fingerprint: Fingerprint,
+    /// Offset within the container's data section.
+    pub offset: u32,
+    /// Chunk length in bytes.
+    pub len: u32,
+}
+
+impl ChunkDescriptor {
+    /// Encoded size of this descriptor.
+    pub fn encoded_len(&self) -> usize {
+        1 + self.fingerprint.algorithm().digest_len() + 4 + 4
+    }
+}
+
+/// Container parsing failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContainerError {
+    /// Missing or wrong magic.
+    BadMagic,
+    /// Byte stream shorter than the declared structure.
+    Truncated,
+    /// A descriptor failed to decode.
+    BadDescriptor,
+    /// A descriptor points outside the data section.
+    DescriptorOutOfRange,
+    /// A chunk's bytes do not match its fingerprint (corruption).
+    ChunkCorrupt(Fingerprint),
+    /// Requested fingerprint is not stored in this container.
+    ChunkNotFound,
+}
+
+impl fmt::Display for ContainerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ContainerError::BadMagic => write!(f, "bad container magic"),
+            ContainerError::Truncated => write!(f, "truncated container"),
+            ContainerError::BadDescriptor => write!(f, "undecodable chunk descriptor"),
+            ContainerError::DescriptorOutOfRange => {
+                write!(f, "chunk descriptor exceeds data section")
+            }
+            ContainerError::ChunkCorrupt(fp) => write!(f, "chunk {fp} fails verification"),
+            ContainerError::ChunkNotFound => write!(f, "chunk not present in container"),
+        }
+    }
+}
+
+impl std::error::Error for ContainerError {}
+
+/// Serialises a container. `pad_to` pads the result with zeros up to the
+/// fixed container size; pass `None` for oversized single-chunk containers.
+pub fn encode_container(
+    container_id: u64,
+    descriptors: &[ChunkDescriptor],
+    data: &[u8],
+    pad_to: Option<usize>,
+) -> Vec<u8> {
+    let desc_len: usize = descriptors.iter().map(|d| d.encoded_len()).sum();
+    let body_len = HEADER_LEN + desc_len + data.len();
+    let total = pad_to.map_or(body_len, |p| p.max(body_len));
+    let mut out = Vec::with_capacity(total);
+    out.extend_from_slice(CONTAINER_MAGIC);
+    out.extend_from_slice(&container_id.to_le_bytes());
+    out.extend_from_slice(&(descriptors.len() as u32).to_le_bytes());
+    out.extend_from_slice(&(data.len() as u64).to_le_bytes());
+    for d in descriptors {
+        d.fingerprint.encode(&mut out);
+        out.extend_from_slice(&d.offset.to_le_bytes());
+        out.extend_from_slice(&d.len.to_le_bytes());
+    }
+    out.extend_from_slice(data);
+    out.resize(total, 0);
+    out
+}
+
+/// A parsed (and structurally validated) container.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedContainer {
+    /// The container's identifier.
+    pub container_id: u64,
+    /// Descriptor table.
+    pub descriptors: Vec<ChunkDescriptor>,
+    /// Data section (padding stripped).
+    pub data: Vec<u8>,
+}
+
+impl ParsedContainer {
+    /// Parses container bytes, validating structure (not chunk contents).
+    pub fn parse(buf: &[u8]) -> Result<Self, ContainerError> {
+        if buf.len() < HEADER_LEN {
+            return Err(if buf.starts_with(&CONTAINER_MAGIC[..buf.len().min(6)]) {
+                ContainerError::Truncated
+            } else {
+                ContainerError::BadMagic
+            });
+        }
+        if &buf[..6] != CONTAINER_MAGIC {
+            return Err(ContainerError::BadMagic);
+        }
+        let container_id = u64::from_le_bytes(buf[6..14].try_into().unwrap());
+        let chunk_count = u32::from_le_bytes(buf[14..18].try_into().unwrap()) as usize;
+        let data_len = u64::from_le_bytes(buf[18..26].try_into().unwrap()) as usize;
+        // Each descriptor is at least 13+8 bytes.
+        if chunk_count.saturating_mul(13) > buf.len() {
+            return Err(ContainerError::Truncated);
+        }
+        let mut pos = HEADER_LEN;
+        let mut descriptors = Vec::with_capacity(chunk_count);
+        for _ in 0..chunk_count {
+            let (fingerprint, used) =
+                Fingerprint::decode(&buf[pos..]).ok_or(ContainerError::BadDescriptor)?;
+            pos += used;
+            if buf.len() < pos + 8 {
+                return Err(ContainerError::Truncated);
+            }
+            let offset = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap());
+            let len = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().unwrap());
+            pos += 8;
+            if (offset as usize).saturating_add(len as usize) > data_len {
+                return Err(ContainerError::DescriptorOutOfRange);
+            }
+            descriptors.push(ChunkDescriptor { fingerprint, offset, len });
+        }
+        if buf.len() < pos + data_len {
+            return Err(ContainerError::Truncated);
+        }
+        let data = buf[pos..pos + data_len].to_vec();
+        Ok(ParsedContainer { container_id, descriptors, data })
+    }
+
+    /// The bytes of the chunk at a descriptor.
+    pub fn chunk_bytes(&self, d: &ChunkDescriptor) -> &[u8] {
+        &self.data[d.offset as usize..(d.offset + d.len) as usize]
+    }
+
+    /// Finds a chunk by fingerprint and returns its bytes.
+    pub fn find(&self, fp: &Fingerprint) -> Result<&[u8], ContainerError> {
+        self.descriptors
+            .iter()
+            .find(|d| d.fingerprint == *fp)
+            .map(|d| self.chunk_bytes(d))
+            .ok_or(ContainerError::ChunkNotFound)
+    }
+
+    /// Recomputes every chunk's fingerprint, returning the first corrupt
+    /// chunk found. Used for failure-injection tests and restore-time
+    /// integrity checking.
+    pub fn verify(&self) -> Result<(), ContainerError> {
+        for d in &self.descriptors {
+            let recomputed =
+                Fingerprint::compute(d.fingerprint.algorithm(), self.chunk_bytes(d));
+            if recomputed != d.fingerprint {
+                return Err(ContainerError::ChunkCorrupt(d.fingerprint));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aadedupe_hashing::HashAlgorithm;
+
+    fn build_sample(pad: Option<usize>) -> (Vec<u8>, Vec<ChunkDescriptor>, Vec<u8>) {
+        let chunks: Vec<Vec<u8>> = vec![b"first chunk".to_vec(), vec![7u8; 300], b"z".to_vec()];
+        let mut data = Vec::new();
+        let mut descriptors = Vec::new();
+        for (i, c) in chunks.iter().enumerate() {
+            let algo = match i % 3 {
+                0 => HashAlgorithm::Sha1,
+                1 => HashAlgorithm::Md5,
+                _ => HashAlgorithm::Rabin96,
+            };
+            descriptors.push(ChunkDescriptor {
+                fingerprint: Fingerprint::compute(algo, c),
+                offset: data.len() as u32,
+                len: c.len() as u32,
+            });
+            data.extend_from_slice(c);
+        }
+        let encoded = encode_container(42, &descriptors, &data, pad);
+        (encoded, descriptors, data)
+    }
+
+    #[test]
+    fn round_trip_unpadded() {
+        let (encoded, descriptors, data) = build_sample(None);
+        let parsed = ParsedContainer::parse(&encoded).unwrap();
+        assert_eq!(parsed.container_id, 42);
+        assert_eq!(parsed.descriptors, descriptors);
+        assert_eq!(parsed.data, data);
+        parsed.verify().unwrap();
+    }
+
+    #[test]
+    fn round_trip_padded() {
+        let (encoded, descriptors, _) = build_sample(Some(4096));
+        assert_eq!(encoded.len(), 4096, "padded to fixed size");
+        let parsed = ParsedContainer::parse(&encoded).unwrap();
+        assert_eq!(parsed.descriptors.len(), descriptors.len());
+        parsed.verify().unwrap();
+    }
+
+    #[test]
+    fn find_by_fingerprint() {
+        let (encoded, descriptors, _) = build_sample(None);
+        let parsed = ParsedContainer::parse(&encoded).unwrap();
+        assert_eq!(parsed.find(&descriptors[0].fingerprint).unwrap(), b"first chunk");
+        let absent = Fingerprint::compute(HashAlgorithm::Sha1, b"not here");
+        assert_eq!(parsed.find(&absent), Err(ContainerError::ChunkNotFound));
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let (mut encoded, _, _) = build_sample(None);
+        // Flip a byte inside the data section (after header+descriptors).
+        let n = encoded.len();
+        encoded[n - 5] ^= 0x01;
+        let parsed = ParsedContainer::parse(&encoded).unwrap();
+        assert!(matches!(parsed.verify(), Err(ContainerError::ChunkCorrupt(_))));
+    }
+
+    #[test]
+    fn truncation_rejected_at_every_prefix() {
+        let (encoded, _, _) = build_sample(None);
+        for n in 0..encoded.len() {
+            assert!(ParsedContainer::parse(&encoded[..n]).is_err(), "prefix {n}");
+        }
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let (mut encoded, _, _) = build_sample(None);
+        encoded[0] = b'X';
+        assert_eq!(ParsedContainer::parse(&encoded), Err(ContainerError::BadMagic));
+    }
+
+    #[test]
+    fn descriptor_out_of_range_rejected() {
+        let d = ChunkDescriptor {
+            fingerprint: Fingerprint::compute(HashAlgorithm::Md5, b"x"),
+            offset: 100,
+            len: 100,
+        };
+        // data section only 10 bytes but descriptor claims 100..200.
+        let encoded = encode_container(1, &[d], &[0u8; 10], None);
+        assert_eq!(
+            ParsedContainer::parse(&encoded),
+            Err(ContainerError::DescriptorOutOfRange)
+        );
+    }
+
+    #[test]
+    fn empty_container() {
+        let encoded = encode_container(9, &[], &[], Some(128));
+        assert_eq!(encoded.len(), 128);
+        let parsed = ParsedContainer::parse(&encoded).unwrap();
+        assert!(parsed.descriptors.is_empty());
+        assert!(parsed.data.is_empty());
+        parsed.verify().unwrap();
+    }
+}

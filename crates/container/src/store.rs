@@ -1,0 +1,375 @@
+//! Open-container management, sealing, and garbage collection.
+//!
+//! "An open chunk container is maintained for each incoming backup data
+//! stream, appending each new chunk or tiny file to the open container
+//! corresponding to the stream it is part of. When a container fills up
+//! with a predefined fixed size, a new one is opened up." (paper §III.F)
+//!
+//! The [`ContainerStore`] implements exactly that: callers name a stream
+//! (AA-Dedupe uses one stream per application type, preserving chunk
+//! locality for restores), and the store routes each chunk to that stream's
+//! open container, sealing and queueing full containers for upload.
+
+use crate::builder::ContainerBuilder;
+use crate::format::{ChunkDescriptor, ContainerError, ParsedContainer};
+use aadedupe_hashing::Fingerprint;
+use std::collections::HashMap;
+
+/// A sealed container ready for upload.
+#[derive(Debug, Clone)]
+pub struct SealedContainer {
+    /// Container identifier (matches the id embedded in `bytes`).
+    pub id: u64,
+    /// Serialized container body (padding is never shipped).
+    pub bytes: Vec<u8>,
+    /// Notional fixed-slot padding a padded on-disk layout would add.
+    pub padding: usize,
+    /// Number of chunks inside.
+    pub chunks: usize,
+}
+
+/// Where a chunk was placed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Placement {
+    /// The container that will hold (or holds) the chunk.
+    pub container: u64,
+    /// Offset within that container's data section.
+    pub offset: u32,
+}
+
+/// Cumulative container statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Containers sealed (including oversized dedicated ones).
+    pub sealed: u64,
+    /// Of which, oversized dedicated single-chunk containers.
+    pub oversized: u64,
+    /// Total chunk payload bytes written.
+    pub data_bytes: u64,
+    /// Total padding bytes written.
+    pub padding_bytes: u64,
+    /// Total chunks placed.
+    pub chunks: u64,
+}
+
+/// Manages one open container per stream plus the sealed-output queue.
+pub struct ContainerStore {
+    container_size: usize,
+    next_id: u64,
+    open: HashMap<u32, ContainerBuilder>,
+    sealed: Vec<SealedContainer>,
+    stats: StoreStats,
+}
+
+impl ContainerStore {
+    /// Store producing containers of the given fixed size.
+    pub fn new(container_size: usize) -> Self {
+        ContainerStore {
+            container_size,
+            next_id: 0,
+            open: HashMap::new(),
+            sealed: Vec::new(),
+            stats: StoreStats::default(),
+        }
+    }
+
+    /// The fixed container size.
+    pub fn container_size(&self) -> usize {
+        self.container_size
+    }
+
+    /// Ensures future container ids start at or after `next_id` — used
+    /// when resuming a store over a namespace that already holds
+    /// containers (ids must never be reused, or uploads would clobber
+    /// live objects).
+    pub fn resume_ids_from(&mut self, next_id: u64) {
+        self.next_id = self.next_id.max(next_id);
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Adds a chunk to `stream`'s open container, sealing/rolling as
+    /// needed. Oversized chunks get a dedicated container sealed
+    /// immediately.
+    pub fn add_chunk(&mut self, stream: u32, fp: Fingerprint, chunk: &[u8]) -> Placement {
+        self.stats.chunks += 1;
+        self.stats.data_bytes += chunk.len() as u64;
+        let digest_len = fp.algorithm().digest_len();
+
+        // Oversized chunk: dedicated container, sealed at once, unpadded.
+        let fits_any = ContainerBuilder::new(u64::MAX, self.container_size)
+            .fits(chunk.len(), digest_len);
+        if !fits_any {
+            let id = self.fresh_id();
+            let mut b = ContainerBuilder::new(id, self.container_size);
+            let offset = b.append(fp, chunk);
+            let (bytes, padding) = b.seal();
+            self.stats.sealed += 1;
+            self.stats.oversized += 1;
+            self.stats.padding_bytes += padding as u64;
+            self.sealed.push(SealedContainer { id, bytes, padding, chunks: 1 });
+            return Placement { container: id, offset };
+        }
+
+        // Roll the stream's open container if the chunk doesn't fit.
+        let needs_roll = self
+            .open
+            .get(&stream)
+            .map(|b| !b.fits(chunk.len(), digest_len))
+            .unwrap_or(false);
+        if needs_roll {
+            self.seal_stream(stream);
+        }
+        let size = self.container_size;
+        let id = match self.open.get(&stream) {
+            Some(b) => b.container_id(),
+            None => {
+                let id = self.fresh_id();
+                self.open.insert(stream, ContainerBuilder::new(id, size));
+                id
+            }
+        };
+        let builder = self.open.get_mut(&stream).expect("just ensured");
+        let offset = builder.append(fp, chunk);
+        Placement { container: id, offset }
+    }
+
+    /// Seals `stream`'s open container (if any); the notional slot fill
+    /// is accounted in [`StoreStats::padding_bytes`].
+    pub fn seal_stream(&mut self, stream: u32) {
+        if let Some(b) = self.open.remove(&stream) {
+            if b.is_empty() {
+                return;
+            }
+            let id = b.container_id();
+            let chunks = b.chunk_count();
+            let (bytes, padding) = b.seal();
+            self.stats.sealed += 1;
+            self.stats.padding_bytes += padding as u64;
+            self.sealed.push(SealedContainer { id, bytes, padding, chunks });
+        }
+    }
+
+    /// Seals every open container (end of a backup session).
+    pub fn seal_all(&mut self) {
+        let streams: Vec<u32> = self.open.keys().copied().collect();
+        for s in streams {
+            self.seal_stream(s);
+        }
+    }
+
+    /// Takes the queue of sealed containers (ready for upload).
+    pub fn drain_sealed(&mut self) -> Vec<SealedContainer> {
+        std::mem::take(&mut self.sealed)
+    }
+
+    /// Sealed containers waiting to be drained.
+    pub fn pending(&self) -> usize {
+        self.sealed.len()
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+}
+
+/// Rewrites a container, keeping only chunks for which `live` returns true
+/// — the background deletion process of paper §III.F.
+///
+/// Returns `None` when nothing survives (the container can simply be
+/// deleted), otherwise the rewritten container bytes (under `new_id`)
+/// plus the surviving chunks' new placements.
+pub fn compact_container(
+    parsed: &ParsedContainer,
+    live: &dyn Fn(&Fingerprint) -> bool,
+    new_id: u64,
+    container_size: usize,
+) -> Option<(Vec<u8>, Vec<(Fingerprint, Placement)>)> {
+    let survivors: Vec<&ChunkDescriptor> = parsed
+        .descriptors
+        .iter()
+        .filter(|d| live(&d.fingerprint))
+        .collect();
+    if survivors.is_empty() {
+        return None;
+    }
+    // Survivors are a subset of a container that fit `container_size`
+    // before, so they always fit the rewritten container (an oversized
+    // original has exactly one chunk, which an empty builder accepts).
+    let mut b = ContainerBuilder::new(new_id, container_size);
+    let mut moves = Vec::with_capacity(survivors.len());
+    for d in survivors {
+        let offset = b.append(d.fingerprint, parsed.chunk_bytes(d));
+        moves.push((d.fingerprint, Placement { container: new_id, offset }));
+    }
+    let (bytes, _padding) = b.seal();
+    Some((bytes, moves))
+}
+
+/// Convenience: parse-then-compact, surfacing parse errors.
+pub fn compact_container_bytes(
+    raw: &[u8],
+    live: &dyn Fn(&Fingerprint) -> bool,
+    new_id: u64,
+    container_size: usize,
+) -> Result<Option<(Vec<u8>, Vec<(Fingerprint, Placement)>)>, ContainerError> {
+    let parsed = ParsedContainer::parse(raw)?;
+    Ok(compact_container(&parsed, live, new_id, container_size))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aadedupe_hashing::HashAlgorithm;
+
+    fn fp(data: &[u8]) -> Fingerprint {
+        Fingerprint::compute(HashAlgorithm::Sha1, data)
+    }
+
+    #[test]
+    fn fills_and_rolls_containers() {
+        let mut store = ContainerStore::new(4096);
+        let chunk = vec![3u8; 1000];
+        let mut placements = Vec::new();
+        for _ in 0..10 {
+            placements.push(store.add_chunk(0, fp(&chunk), &chunk));
+        }
+        store.seal_all();
+        let sealed = store.drain_sealed();
+        assert!(sealed.len() >= 3, "10 KB of chunks in 4 KiB containers");
+        // Every placement must resolve inside its sealed container.
+        for p in &placements {
+            let sc = sealed.iter().find(|s| s.id == p.container).expect("container sealed");
+            let parsed = ParsedContainer::parse(&sc.bytes).unwrap();
+            let d = parsed
+                .descriptors
+                .iter()
+                .find(|d| d.offset == p.offset)
+                .expect("offset present");
+            assert_eq!(parsed.chunk_bytes(d), &chunk[..]);
+        }
+    }
+
+    #[test]
+    fn streams_are_isolated() {
+        let mut store = ContainerStore::new(4096);
+        let a = store.add_chunk(1, fp(b"stream-a"), b"stream-a");
+        let b = store.add_chunk(2, fp(b"stream-b"), b"stream-b");
+        assert_ne!(a.container, b.container, "distinct streams use distinct containers");
+        store.seal_all();
+        assert_eq!(store.drain_sealed().len(), 2);
+    }
+
+    #[test]
+    fn oversized_chunk_gets_dedicated_container() {
+        let mut store = ContainerStore::new(1024);
+        store.add_chunk(0, fp(b"small"), b"small");
+        let big = vec![9u8; 5000];
+        let p = store.add_chunk(0, fp(&big), &big);
+        // The dedicated container is sealed immediately.
+        assert_eq!(store.pending(), 1);
+        let sealed = store.drain_sealed();
+        assert_eq!(sealed[0].id, p.container);
+        assert_eq!(sealed[0].padding, 0, "oversized container unpadded");
+        assert_eq!(store.stats().oversized, 1);
+        // The small chunk's container is still open.
+        store.seal_all();
+        assert_eq!(store.drain_sealed().len(), 1);
+    }
+
+    #[test]
+    fn padding_accounted() {
+        let mut store = ContainerStore::new(4096);
+        store.add_chunk(0, fp(b"x"), b"x");
+        store.seal_all();
+        let sealed = store.drain_sealed();
+        assert!(sealed[0].bytes.len() < 100, "only header + descriptor + 1 byte shipped");
+        assert!(sealed[0].padding > 4000, "the notional slot fill is accounted");
+        assert_eq!(store.stats().padding_bytes, sealed[0].padding as u64);
+    }
+
+    #[test]
+    fn sealing_empty_stream_is_noop() {
+        let mut store = ContainerStore::new(4096);
+        store.seal_stream(7);
+        store.seal_all();
+        assert_eq!(store.pending(), 0);
+        assert_eq!(store.stats().sealed, 0);
+    }
+
+    #[test]
+    fn resume_ids_skips_used_range() {
+        let mut store = ContainerStore::new(4096);
+        store.resume_ids_from(100);
+        let p = store.add_chunk(0, fp(b"x"), b"x");
+        assert!(p.container >= 100);
+        // Resuming backwards never lowers the counter.
+        store.resume_ids_from(5);
+        let q = store.add_chunk(1, fp(b"y"), b"y");
+        assert!(q.container > p.container);
+    }
+
+    #[test]
+    fn container_ids_unique_and_monotonic() {
+        let mut store = ContainerStore::new(1024);
+        let big = vec![1u8; 4000];
+        let p1 = store.add_chunk(0, fp(&big), &big);
+        let p2 = store.add_chunk(0, fp(b"s"), b"s");
+        let p3 = store.add_chunk(1, fp(b"t"), b"t");
+        let mut ids = vec![p1.container, p2.container, p3.container];
+        ids.dedup();
+        assert_eq!(ids.len(), 3);
+    }
+
+    #[test]
+    fn compaction_drops_dead_chunks() {
+        let mut store = ContainerStore::new(8192);
+        let keep = b"keep me".to_vec();
+        let drop_ = b"drop me".to_vec();
+        store.add_chunk(0, fp(&keep), &keep);
+        store.add_chunk(0, fp(&drop_), &drop_);
+        store.seal_all();
+        let sealed = store.drain_sealed();
+        let keep_fp = fp(&keep);
+        let (bytes, moves) =
+            compact_container_bytes(&sealed[0].bytes, &|f| *f == keep_fp, 99, 8192)
+                .unwrap()
+                .expect("one survivor");
+        assert_eq!(moves.len(), 1);
+        assert_eq!(moves[0].0, keep_fp);
+        let parsed = ParsedContainer::parse(&bytes).unwrap();
+        assert_eq!(parsed.container_id, 99);
+        assert_eq!(parsed.descriptors.len(), 1);
+        assert_eq!(parsed.find(&keep_fp).unwrap(), &keep[..]);
+        parsed.verify().unwrap();
+    }
+
+    #[test]
+    fn compaction_of_fully_dead_container_returns_none() {
+        let mut store = ContainerStore::new(4096);
+        store.add_chunk(0, fp(b"doomed"), b"doomed");
+        store.seal_all();
+        let sealed = store.drain_sealed();
+        let r = compact_container_bytes(&sealed[0].bytes, &|_| false, 1, 4096).unwrap();
+        assert!(r.is_none());
+    }
+
+    #[test]
+    fn stats_track_everything() {
+        let mut store = ContainerStore::new(2048);
+        for i in 0..5u8 {
+            let c = vec![i; 300];
+            store.add_chunk(0, fp(&c), &c);
+        }
+        store.seal_all();
+        let s = store.stats();
+        assert_eq!(s.chunks, 5);
+        assert_eq!(s.data_bytes, 1500);
+        assert!(s.sealed >= 1);
+    }
+}

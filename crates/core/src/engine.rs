@@ -1,0 +1,734 @@
+//! The AA-Dedupe backup engine.
+//!
+//! Faithful to the paper's Fig. 5 dataflow: a file size filter diverts
+//! tiny files straight into containers; the intelligent chunker picks
+//! WFC/SC/CDC per application category; the deduplicator consults the
+//! application-aware index (one partition per application, each with a
+//! RAM-resident working set); new chunks are aggregated into 1 MiB
+//! containers per application stream; manifests and periodic index
+//! snapshots complete the cloud state. Chunking and fingerprinting can be
+//! fanned out to worker threads (the paper's "pipelined design").
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use aadedupe_chunking::{CdcChunker, CdcParams, Chunker, ChunkingMethod, ScChunker, DEFAULT_CDC};
+use aadedupe_cloud::CloudSim;
+use aadedupe_container::{ContainerStore, DEFAULT_CONTAINER_SIZE};
+use aadedupe_filetype::{AppType, DedupPolicy, SourceFile};
+use aadedupe_hashing::Fingerprint;
+use aadedupe_index::{codec, AppAwareIndex, ChunkEntry};
+use aadedupe_metrics::SessionReport;
+
+use crate::recipe::{ChunkRef, FileRecipe, Manifest};
+use crate::restore::{container_key, restore_session, RestoredFile};
+use crate::scheme::{BackupError, BackupScheme};
+use crate::timing::DedupClock;
+
+/// Engine configuration. Defaults are the paper's evaluation settings.
+#[derive(Debug, Clone)]
+pub struct AaDedupeConfig {
+    /// Files strictly below this size bypass dedup (paper: 10 KiB).
+    pub tiny_threshold: u64,
+    /// Fixed container size (paper: 1 MiB).
+    pub container_size: usize,
+    /// Static chunk size (paper: 8 KiB).
+    pub sc_chunk_size: usize,
+    /// CDC parameters (paper: 2/8/16 KiB, 48-byte window).
+    pub cdc: CdcParams,
+    /// Chunking/hash policy per category (paper: Fig. 6).
+    pub policy: DedupPolicy,
+    /// Modelled RAM cache entries per index partition.
+    pub ram_entries_per_partition: usize,
+    /// Upload an index snapshot every N sessions (0 disables sync).
+    pub index_sync_interval: usize,
+    /// Worker threads for chunk+hash (1 = serial).
+    pub chunk_workers: usize,
+    /// Cloud namespace prefix for this engine's objects.
+    pub scheme_key: String,
+}
+
+impl Default for AaDedupeConfig {
+    fn default() -> Self {
+        AaDedupeConfig {
+            tiny_threshold: 10 * 1024,
+            container_size: DEFAULT_CONTAINER_SIZE,
+            sc_chunk_size: 8 * 1024,
+            cdc: DEFAULT_CDC,
+            policy: DedupPolicy::aa_dedupe(),
+            ram_entries_per_partition: 1 << 18,
+            index_sync_interval: 1,
+            chunk_workers: 1,
+            scheme_key: "aa-dedupe".into(),
+        }
+    }
+}
+
+/// Stream id used for the tiny-file container stream; application streams
+/// use the application tag (1..=13).
+const TINY_STREAM: u32 = 0;
+
+/// The AA-Dedupe backup client.
+pub struct AaDedupe {
+    config: AaDedupeConfig,
+    cloud: CloudSim,
+    index: AppAwareIndex,
+    containers: ContainerStore,
+    sessions: usize,
+    /// Live-chunk count per container (deletion support: a container whose
+    /// count reaches zero is removed from the cloud).
+    container_live: HashMap<u64, u64>,
+    /// Tiny-file incrementality: path -> (change token, last placement).
+    /// Tiny files bypass the chunk *index* (the paper's size filter), but
+    /// the client still skips re-packing unchanged ones, Cumulus-style.
+    /// Not persisted: after [`AaDedupe::open`] the first session re-packs
+    /// tiny files once.
+    tiny_seen: HashMap<String, (u64, ChunkRef)>,
+    wfc: aadedupe_chunking::WfcChunker,
+    sc: ScChunker,
+    cdc: CdcChunker,
+}
+
+/// The result of chunk+hash over one file.
+struct ChunkedFile {
+    /// (fingerprint, chunk bytes) in file order.
+    chunks: Vec<(Fingerprint, Vec<u8>)>,
+    /// CPU time spent producing them.
+    cpu: std::time::Duration,
+}
+
+impl AaDedupe {
+    /// Engine with the paper's default configuration.
+    pub fn new(cloud: CloudSim) -> Self {
+        Self::with_config(cloud, AaDedupeConfig::default())
+    }
+
+    /// Engine with an explicit configuration.
+    pub fn with_config(cloud: CloudSim, config: AaDedupeConfig) -> Self {
+        AaDedupe {
+            index: AppAwareIndex::new(config.ram_entries_per_partition),
+            containers: ContainerStore::new(config.container_size),
+            sessions: 0,
+            container_live: HashMap::new(),
+            tiny_seen: HashMap::new(),
+            wfc: aadedupe_chunking::WfcChunker::new(),
+            sc: ScChunker::new(config.sc_chunk_size),
+            cdc: CdcChunker::new(config.cdc),
+            cloud,
+            config,
+        }
+    }
+
+    /// Opens an engine over an *existing* cloud namespace, resuming its
+    /// state: the session counter continues after the last stored
+    /// manifest, and the index and per-container reference counts are
+    /// rebuilt from the manifests themselves (exact, snapshot-independent).
+    /// A fresh namespace yields a fresh engine.
+    pub fn open(cloud: CloudSim, config: AaDedupeConfig) -> Result<Self, BackupError> {
+        let mut engine = Self::with_config(cloud, config);
+        let prefix = format!("{}/manifests/", engine.config.scheme_key);
+        let manifest_keys = engine.cloud.store().list(&prefix);
+        let mut max_session: Option<u64> = None;
+        for key in &manifest_keys {
+            let (bytes, _t) = engine.cloud.get(key);
+            let bytes = bytes.ok_or_else(|| BackupError::MissingObject(key.clone()))?;
+            let manifest = Manifest::decode(&bytes)?;
+            max_session = Some(max_session.map_or(manifest.session, |m| m.max(manifest.session)));
+            for f in &manifest.files {
+                for c in &f.chunks {
+                    *engine.container_live.entry(c.container).or_insert(0) += 1;
+                    if !f.tiny {
+                        engine.index.partition(f.app).bump_or_insert(
+                            c.fingerprint,
+                            ChunkEntry::new(c.len as u64, c.container, c.offset),
+                        );
+                    }
+                }
+            }
+        }
+        engine.sessions = max_session.map_or(0, |m| m as usize + 1);
+        engine.resume_container_ids();
+        Ok(engine)
+    }
+
+    /// Advances the container id counter past every container object in
+    /// the cloud namespace, so resumed engines never clobber live
+    /// containers.
+    fn resume_container_ids(&mut self) {
+        let prefix = format!("{}/containers/", self.config.scheme_key);
+        let max_id = self
+            .cloud
+            .store()
+            .list(&prefix)
+            .iter()
+            .filter_map(|k| k.rsplit('/').next()?.parse::<u64>().ok())
+            .max();
+        if let Some(id) = max_id {
+            self.containers.resume_ids_from(id + 1);
+        }
+    }
+
+    /// Sessions currently restorable from the cloud (ascending).
+    pub fn list_sessions(&self) -> Vec<usize> {
+        let prefix = format!("{}/manifests/", self.config.scheme_key);
+        self.cloud
+            .store()
+            .list(&prefix)
+            .iter()
+            .filter_map(|k| k.rsplit('/').next()?.parse::<usize>().ok())
+            .collect()
+    }
+
+    /// Restores a single file by path from a past session.
+    pub fn restore_file(&self, session: usize, path: &str) -> Result<RestoredFile, BackupError> {
+        let files = self.restore_session(session)?;
+        files
+            .into_iter()
+            .find(|f| f.path == path)
+            .ok_or_else(|| BackupError::MissingObject(format!("session {session}: {path}")))
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &AaDedupeConfig {
+        &self.config
+    }
+
+    /// The cloud this engine talks to.
+    pub fn cloud(&self) -> &CloudSim {
+        &self.cloud
+    }
+
+    /// The application-aware index (inspection).
+    pub fn index(&self) -> &AppAwareIndex {
+        &self.index
+    }
+
+    /// Chunk + fingerprint one file's bytes according to the policy.
+    fn chunk_and_hash(&self, app: AppType, data: &[u8]) -> ChunkedFile {
+        let start = Instant::now();
+        let (method, hash) = self.config.policy.for_app(app);
+        let spans = match method {
+            ChunkingMethod::Wfc => self.wfc.chunk(data),
+            ChunkingMethod::Sc => self.sc.chunk(data),
+            ChunkingMethod::Cdc => self.cdc.chunk(data),
+        };
+        let chunks = spans
+            .iter()
+            .map(|s| {
+                let bytes = s.slice(data);
+                (Fingerprint::compute(hash, bytes), bytes.to_vec())
+            })
+            .collect();
+        ChunkedFile { chunks, cpu: start.elapsed() }
+    }
+
+    /// Deduplicate one chunked file into recipes/containers/index.
+    /// Returns the recipe and updates the report counters.
+    fn dedupe_file(
+        &mut self,
+        file: &dyn SourceFile,
+        chunked: ChunkedFile,
+        clock: &mut DedupClock,
+        report: &mut SessionReport,
+    ) -> FileRecipe {
+        let app = file.app_type();
+        let stream = app.tag() as u32;
+        let mut recipe = FileRecipe {
+            path: file.path().to_string(),
+            app,
+            tiny: false,
+            chunks: Vec::with_capacity(chunked.chunks.len()),
+        };
+        clock.add_cpu(chunked.cpu);
+        for (fp, bytes) in chunked.chunks {
+            report.chunks_total += 1;
+            let start = Instant::now();
+            let outcome = self.index.lookup_classified(app, &fp);
+            if outcome.touched_disk() {
+                clock.charge_disk_probes(1);
+                report.index_disk_reads += 1;
+            }
+            let reference = match outcome.entry() {
+                Some(entry) => {
+                    report.chunks_duplicate += 1;
+                    *self.container_live.entry(entry.container).or_insert(0) += 1;
+                    ChunkRef {
+                        fingerprint: fp,
+                        len: bytes.len() as u32,
+                        container: entry.container,
+                        offset: entry.offset,
+                    }
+                }
+                None => {
+                    let placement = self.containers.add_chunk(stream, fp, &bytes);
+                    self.index.insert(
+                        app,
+                        fp,
+                        ChunkEntry::new(bytes.len() as u64, placement.container, placement.offset),
+                    );
+                    *self.container_live.entry(placement.container).or_insert(0) += 1;
+                    report.stored_bytes += bytes.len() as u64;
+                    ChunkRef {
+                        fingerprint: fp,
+                        len: bytes.len() as u32,
+                        container: placement.container,
+                        offset: placement.offset,
+                    }
+                }
+            };
+            clock.add_cpu(start.elapsed());
+            recipe.chunks.push(reference);
+        }
+        recipe
+    }
+
+    /// The tiny-file path: no chunk-level dedup (the size filter), but
+    /// unchanged files (same change token) are carried forward by
+    /// reference instead of re-packed -- the Cumulus-style grouping the
+    /// paper cites for its tiny-file handling.
+    fn pack_tiny(
+        &mut self,
+        file: &dyn SourceFile,
+        clock: &mut DedupClock,
+        report: &mut SessionReport,
+    ) -> FileRecipe {
+        report.files_tiny += 1;
+        report.chunks_total += 1;
+        let token = file.change_token();
+        if let Some((seen_token, reference)) = self.tiny_seen.get(file.path()) {
+            if *seen_token == token {
+                report.chunks_duplicate += 1;
+                let reference = *reference;
+                *self.container_live.entry(reference.container).or_insert(0) += 1;
+                return FileRecipe {
+                    path: file.path().to_string(),
+                    app: file.app_type(),
+                    tiny: true,
+                    chunks: vec![reference],
+                };
+            }
+        }
+        let data = file.read();
+        let start = Instant::now();
+        // Tiny files are fingerprinted only for restore-time integrity
+        // (container descriptors need a key); they are not indexed.
+        let fp = Fingerprint::compute(aadedupe_hashing::HashAlgorithm::Sha1, &data);
+        let placement = self.containers.add_chunk(TINY_STREAM, fp, &data);
+        *self.container_live.entry(placement.container).or_insert(0) += 1;
+        report.stored_bytes += data.len() as u64;
+        clock.add_cpu(start.elapsed());
+        let reference = ChunkRef {
+            fingerprint: fp,
+            len: data.len() as u32,
+            container: placement.container,
+            offset: placement.offset,
+        };
+        self.tiny_seen.insert(file.path().to_string(), (token, reference));
+        FileRecipe {
+            path: file.path().to_string(),
+            app: file.app_type(),
+            tiny: true,
+            chunks: vec![reference],
+        }
+    }
+
+    /// Chunk+hash stage, fanned out to `chunk_workers` threads when
+    /// configured. Results are consumed in file order regardless of
+    /// completion order, so dedup outcomes are deterministic.
+    fn run_session(
+        &mut self,
+        files: &[&dyn SourceFile],
+        report: &mut SessionReport,
+        clock: &mut DedupClock,
+    ) -> Manifest {
+        let mut manifest = Manifest::new(self.sessions as u64);
+        let tiny_threshold = self.config.tiny_threshold;
+        let workers = self.config.chunk_workers.max(1);
+
+        // Indices of non-tiny files, to be chunked (possibly in parallel).
+        let big: Vec<usize> = (0..files.len())
+            .filter(|&i| files[i].size() >= tiny_threshold)
+            .collect();
+
+        let mut chunked: HashMap<usize, ChunkedFile> = HashMap::with_capacity(big.len());
+        if workers <= 1 {
+            for &i in &big {
+                let data = files[i].read();
+                let cf = self.chunk_and_hash(files[i].app_type(), &data);
+                chunked.insert(i, cf);
+            }
+        } else {
+            // Fan out chunk+hash; crossbeam channels keep memory bounded.
+            let (job_tx, job_rx) = crossbeam::channel::bounded::<usize>(workers * 2);
+            let (res_tx, res_rx) =
+                crossbeam::channel::bounded::<(usize, ChunkedFile)>(workers * 2);
+            let this: &AaDedupe = self;
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    let job_rx = job_rx.clone();
+                    let res_tx = res_tx.clone();
+                    scope.spawn(move || {
+                        while let Ok(i) = job_rx.recv() {
+                            let data = files[i].read();
+                            let cf = this.chunk_and_hash(files[i].app_type(), &data);
+                            if res_tx.send((i, cf)).is_err() {
+                                return;
+                            }
+                        }
+                    });
+                }
+                drop(res_tx);
+                let feeder = scope.spawn(move || {
+                    for &i in &big {
+                        if job_tx.send(i).is_err() {
+                            return;
+                        }
+                    }
+                });
+                for (i, cf) in res_rx.iter() {
+                    chunked.insert(i, cf);
+                }
+                feeder.join().expect("feeder panicked");
+            });
+        }
+
+        // Consume in file order (dedup outcome must not depend on worker
+        // scheduling).
+        for (i, file) in files.iter().enumerate() {
+            report.files_total += 1;
+            report.logical_bytes += file.size();
+            let recipe = if file.size() < tiny_threshold {
+                self.pack_tiny(*file, clock, report)
+            } else {
+                let cf = chunked.remove(&i).expect("chunked above");
+                self.dedupe_file(*file, cf, clock, report)
+            };
+            manifest.files.push(recipe);
+        }
+        manifest
+    }
+
+    /// Marks every chunk of a manifest released, deleting containers whose
+    /// last live chunk disappears (the background deletion process of
+    /// §III.F). Tiny-file chunks are unindexed, so their container slots
+    /// are released directly.
+    fn release_manifest(&mut self, manifest: &Manifest) {
+        for f in &manifest.files {
+            for c in &f.chunks {
+                if !f.tiny {
+                    // Tiny chunks are unindexed; indexed chunks drop one
+                    // reference (removed from the index at zero).
+                    self.index.release(f.app, &c.fingerprint);
+                }
+                let live = self
+                    .container_live
+                    .get_mut(&c.container)
+                    .expect("container of a live manifest");
+                *live = live.saturating_sub(1);
+                if *live == 0 {
+                    self.container_live.remove(&c.container);
+                    self.cloud.delete(&container_key(&self.config.scheme_key, c.container));
+                }
+            }
+        }
+    }
+
+    /// Deletes a past session: removes its manifest and reclaims any
+    /// containers left without live references.
+    pub fn delete_session(&mut self, session: usize) -> Result<(), BackupError> {
+        let key = Manifest::key(&self.config.scheme_key, session as u64);
+        let (bytes, _t) = self.cloud.get(&key);
+        let bytes = bytes.ok_or(BackupError::UnknownSession(session))?;
+        let manifest = Manifest::decode(&bytes)?;
+        self.release_manifest(&manifest);
+        self.cloud.delete(&key);
+        Ok(())
+    }
+
+    /// Rebuilds the in-memory index from the latest cloud snapshot — the
+    /// disaster-recovery path the paper's periodic synchronisation enables.
+    pub fn recover_index_from_cloud(&mut self) -> Result<(), BackupError> {
+        let keys = self.cloud.store().list(&format!("{}/index/", self.config.scheme_key));
+        let latest = keys.last().ok_or_else(|| {
+            BackupError::MissingObject(format!("{}/index/*", self.config.scheme_key))
+        })?;
+        let (bytes, _t) = self.cloud.get(latest);
+        let bytes = bytes.ok_or_else(|| BackupError::MissingObject(latest.clone()))?;
+        self.index = codec::decode_app_aware(&bytes, self.config.ram_entries_per_partition)
+            .map_err(|e| BackupError::Corrupt(format!("index snapshot: {e}")))?;
+        self.resume_container_ids();
+        Ok(())
+    }
+}
+
+impl BackupScheme for AaDedupe {
+    fn name(&self) -> &'static str {
+        "AA-Dedupe"
+    }
+
+    fn backup_session(
+        &mut self,
+        files: &[&dyn SourceFile],
+    ) -> Result<SessionReport, BackupError> {
+        let mut report = SessionReport::new(self.name(), self.sessions);
+        let mut clock = DedupClock::new();
+        let wan_before = self.cloud.elapsed();
+        let puts_before = self.cloud.store().stats();
+
+        let manifest = self.run_session(files, &mut report, &mut clock);
+        // Every byte of the dataset is read once from the source disk.
+        clock.charge_source_read(report.logical_bytes);
+
+        // Ship containers.
+        self.containers.seal_all();
+        for sealed in self.containers.drain_sealed() {
+            let key = container_key(&self.config.scheme_key, sealed.id);
+            report.transferred_bytes += sealed.bytes.len() as u64;
+            self.cloud.put(&key, sealed.bytes);
+        }
+        // Ship the manifest.
+        let mbytes = manifest.encode();
+        report.transferred_bytes += mbytes.len() as u64;
+        self.cloud.put(&Manifest::key(&self.config.scheme_key, manifest.session), mbytes);
+        // Periodic index synchronisation.
+        if self.config.index_sync_interval > 0
+            && (self.sessions + 1) % self.config.index_sync_interval == 0
+        {
+            let snap = codec::encode_app_aware(&self.index);
+            report.transferred_bytes += snap.len() as u64;
+            self.cloud.put(
+                &format!("{}/index/{:08}", self.config.scheme_key, self.sessions),
+                snap,
+            );
+        }
+
+        let put_delta = self.cloud.store().stats().put_requests - puts_before.put_requests;
+        report.put_requests = put_delta;
+        report.dedup_cpu = clock.total();
+        report.transfer_time = self.cloud.elapsed() - wan_before;
+        self.sessions += 1;
+        Ok(report)
+    }
+
+    fn restore_session(&self, session: usize) -> Result<Vec<RestoredFile>, BackupError> {
+        restore_session(&self.cloud, &self.config.scheme_key, session as u64)
+    }
+
+    fn sessions_completed(&self) -> usize {
+        self.sessions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aadedupe_filetype::MemoryFile;
+
+    fn mem(path: &str, data: Vec<u8>) -> MemoryFile {
+        MemoryFile::new(path, data)
+    }
+
+    fn sources(files: &[MemoryFile]) -> Vec<&dyn SourceFile> {
+        files.iter().map(|f| f as &dyn SourceFile).collect()
+    }
+
+    fn engine() -> AaDedupe {
+        AaDedupe::new(CloudSim::with_paper_defaults())
+    }
+
+    #[test]
+    fn backup_and_restore_round_trip() {
+        let mut e = engine();
+        let files = vec![
+            mem("user/doc/a.doc", b"document text ".repeat(3000)), // dynamic
+            mem("user/pdf/b.pdf", vec![7u8; 50_000]),              // static
+            mem("user/mp3/c.mp3", (0..60_000u32).map(|i| (i % 251) as u8).collect()), // compressed
+            mem("user/tiny/t.txt", b"tiny".to_vec()),              // tiny
+        ];
+        let report = e.backup_session(&sources(&files)).unwrap();
+        assert_eq!(report.files_total, 4);
+        assert_eq!(report.files_tiny, 1);
+        assert!(report.logical_bytes > 0);
+        assert!(report.transferred_bytes > 0);
+
+        let restored = e.restore_session(0).unwrap();
+        assert_eq!(restored.len(), 4);
+        for (orig, rest) in files.iter().zip(restored.iter()) {
+            assert_eq!(orig.path, rest.path);
+            assert_eq!(orig.data, rest.data, "{}", orig.path);
+        }
+    }
+
+    #[test]
+    fn second_identical_session_dedupes_everything() {
+        let mut e = engine();
+        let files = vec![
+            mem("user/doc/a.doc", b"words and words ".repeat(4000)),
+            mem("user/exe/b.exe", vec![3u8; 100_000]),
+        ];
+        let s0 = e.backup_session(&sources(&files)).unwrap();
+        let s1 = e.backup_session(&sources(&files)).unwrap();
+        assert_eq!(s1.stored_bytes, 0, "identical data stores nothing new");
+        assert!(s1.chunks_duplicate >= s0.chunks_total - 1);
+        assert!(s1.transferred_bytes < s0.transferred_bytes / 2);
+        // Both sessions restore correctly.
+        for session in 0..2 {
+            let restored = e.restore_session(session).unwrap();
+            assert_eq!(restored[0].data, files[0].data);
+            assert_eq!(restored[1].data, files[1].data);
+        }
+    }
+
+    #[test]
+    fn policy_routes_by_category() {
+        let mut e = engine();
+        // A compressed file large enough that SC would make many chunks,
+        // but WFC must make exactly one.
+        let media = mem("user/avi/m.avi", vec![9u8; 200_000]);
+        let report = e.backup_session(&sources(&[media.clone()])).unwrap();
+        assert_eq!(report.chunks_total, 1, "WFC yields one chunk per file");
+        // A static file gets 8 KiB fixed chunks.
+        let mut e2 = engine();
+        let stat = mem("user/pdf/s.pdf", vec![1u8; 80_000]);
+        let r2 = e2.backup_session(&sources(&[stat])).unwrap();
+        assert_eq!(r2.chunks_total, 80_000 / 8192 + 1);
+    }
+
+    #[test]
+    fn tiny_files_bypass_dedup() {
+        let mut e = engine();
+        // Two identical tiny files: no dedup on the tiny path.
+        let files = vec![
+            mem("user/tiny/a.txt", b"same tiny content".to_vec()),
+            mem("user/tiny/b.txt", b"same tiny content".to_vec()),
+        ];
+        let report = e.backup_session(&sources(&files)).unwrap();
+        assert_eq!(report.files_tiny, 2);
+        assert_eq!(report.chunks_duplicate, 0);
+        assert_eq!(report.stored_bytes, 2 * 17);
+        // Restore still works.
+        let restored = e.restore_session(0).unwrap();
+        assert_eq!(restored[0].data, restored[1].data);
+    }
+
+    #[test]
+    fn intra_session_duplicate_files_dedup() {
+        let mut e = engine();
+        let payload = vec![0xabu8; 64_000];
+        let files = vec![
+            mem("user/pdf/one.pdf", payload.clone()),
+            mem("user/pdf/two.pdf", payload.clone()),
+        ];
+        let report = e.backup_session(&sources(&files)).unwrap();
+        assert!(report.chunks_duplicate >= report.chunks_total / 2 - 1);
+        assert!(report.stored_bytes <= payload.len() as u64 + 8192);
+    }
+
+    #[test]
+    fn cross_app_identical_content_is_not_shared() {
+        // Observation 2's corollary: identical bytes under different app
+        // types live in different partitions and are stored twice.
+        let mut e = engine();
+        // Non-repeating payload so no *intra-file* chunks collide.
+        let payload: Vec<u8> = {
+            let mut x = 0x1234_5678_9ABC_DEF0u64;
+            (0..40_000).map(|_| { x ^= x << 13; x ^= x >> 7; x ^= x << 17; (x >> 32) as u8 }).collect()
+        };
+        let files = vec![
+            mem("user/pdf/a.pdf", payload.clone()),
+            mem("user/exe/b.exe", payload.clone()),
+        ];
+        let report = e.backup_session(&sources(&files)).unwrap();
+        assert_eq!(report.chunks_duplicate, 0);
+        assert_eq!(report.stored_bytes, 2 * payload.len() as u64);
+    }
+
+    #[test]
+    fn parallel_workers_match_serial_results() {
+        let files: Vec<MemoryFile> = (0..12)
+            .map(|i| {
+                mem(
+                    &format!("user/txt/f{i}.txt"),
+                    format!("file number {i} ").repeat(2000 + i * 37).into_bytes(),
+                )
+            })
+            .collect();
+        let mut serial = engine();
+        let mut cfg = AaDedupeConfig::default();
+        cfg.chunk_workers = 4;
+        let mut parallel = AaDedupe::with_config(CloudSim::with_paper_defaults(), cfg);
+
+        let rs = serial.backup_session(&sources(&files)).unwrap();
+        let rp = parallel.backup_session(&sources(&files)).unwrap();
+        assert_eq!(rs.stored_bytes, rp.stored_bytes);
+        assert_eq!(rs.chunks_total, rp.chunks_total);
+        assert_eq!(rs.chunks_duplicate, rp.chunks_duplicate);
+        // Bit-exact restores from both.
+        let a = serial.restore_session(0).unwrap();
+        let b = parallel.restore_session(0).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn delete_session_reclaims_fully_dead_containers() {
+        let mut e = engine();
+        let files0 = vec![mem("user/doc/x.doc", b"version one ".repeat(3000))];
+        e.backup_session(&sources(&files0)).unwrap();
+        let objects_after_0 = e.cloud().store().object_count();
+        // Session 1 with completely different content.
+        let files1 = vec![mem("user/doc/y.doc", b"other stuff ".repeat(3000))];
+        e.backup_session(&sources(&files1)).unwrap();
+
+        e.delete_session(0).unwrap();
+        // Session 0's manifest is gone and its containers reclaimed.
+        assert!(e.restore_session(0).is_err());
+        let restored = e.restore_session(1).unwrap();
+        assert_eq!(restored[0].data, files1[0].data);
+        assert!(e.cloud().store().object_count() < objects_after_0 + 4);
+    }
+
+    #[test]
+    fn delete_preserves_shared_chunks() {
+        let mut e = engine();
+        let shared = mem("user/doc/s.doc", b"shared bytes ".repeat(4000));
+        e.backup_session(&sources(&[shared.clone()])).unwrap();
+        e.backup_session(&sources(&[shared.clone()])).unwrap();
+        e.delete_session(0).unwrap();
+        // Session 1 references the same chunks; they must survive.
+        let restored = e.restore_session(1).unwrap();
+        assert_eq!(restored[0].data, shared.data);
+    }
+
+    #[test]
+    fn index_recovery_from_cloud_snapshot() {
+        let mut e = engine();
+        let files = vec![mem("user/ppt/p.ppt", b"slide deck ".repeat(5000))];
+        e.backup_session(&sources(&files)).unwrap();
+        let entries_before = e.index().len();
+        assert!(entries_before > 0);
+        // Simulate client disk loss.
+        e.index = AppAwareIndex::new(e.config.ram_entries_per_partition);
+        assert_eq!(e.index().len(), 0);
+        e.recover_index_from_cloud().unwrap();
+        assert_eq!(e.index().len(), entries_before);
+        // Recovered index actually dedupes.
+        let r = e.backup_session(&sources(&files)).unwrap();
+        assert_eq!(r.stored_bytes, 0);
+    }
+
+    #[test]
+    fn report_counters_are_consistent() {
+        let mut e = engine();
+        let files = vec![
+            mem("user/txt/a.txt", b"alpha ".repeat(5000)),
+            mem("user/tiny/t.txt", b"x".to_vec()),
+        ];
+        let r = e.backup_session(&sources(&files)).unwrap();
+        assert_eq!(r.files_total, 2);
+        assert!(r.chunks_duplicate <= r.chunks_total);
+        assert!(r.stored_bytes <= r.logical_bytes);
+        assert!(r.dr() >= 1.0);
+        assert!(r.dedup_cpu > std::time::Duration::ZERO);
+        assert!(r.put_requests > 0);
+    }
+}

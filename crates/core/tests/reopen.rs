@@ -1,0 +1,88 @@
+//! Engine state resumption: `AaDedupe::open` over an existing namespace.
+
+use aadedupe_cloud::CloudSim;
+use aadedupe_core::{AaDedupe, AaDedupeConfig, BackupScheme};
+use aadedupe_filetype::{MemoryFile, SourceFile};
+
+fn sources(files: &[MemoryFile]) -> Vec<&dyn SourceFile> {
+    files.iter().map(|f| f as &dyn SourceFile).collect()
+}
+
+fn week(version: u8) -> Vec<MemoryFile> {
+    vec![
+        MemoryFile::new("user/doc/a.doc", vec![version; 60_000]),
+        MemoryFile::new("user/pdf/shared.pdf", b"stable across versions ".repeat(2000)),
+        MemoryFile::new("user/tiny/t.txt", vec![version; 100]),
+    ]
+}
+
+#[test]
+fn open_on_fresh_namespace_is_a_fresh_engine() {
+    let cloud = CloudSim::with_paper_defaults();
+    let engine = AaDedupe::open(cloud, AaDedupeConfig::default()).expect("open");
+    assert_eq!(engine.sessions_completed(), 0);
+    assert_eq!(engine.index().len(), 0);
+    assert!(engine.list_sessions().is_empty());
+}
+
+#[test]
+fn open_resumes_sessions_and_dedup_state() {
+    let cloud = CloudSim::with_paper_defaults();
+    let mut first = AaDedupe::new(cloud.clone());
+    let w0 = week(1);
+    let w1 = week(2);
+    first.backup_session(&sources(&w0)).expect("s0");
+    let r1 = first.backup_session(&sources(&w1)).expect("s1");
+    // The unchanged PDF deduped in session 1.
+    assert!(r1.chunks_duplicate > 0);
+    let index_len = first.index().len();
+    drop(first);
+
+    // Reopen from the cloud alone.
+    let mut reopened = AaDedupe::open(cloud, AaDedupeConfig::default()).expect("open");
+    assert_eq!(reopened.sessions_completed(), 2);
+    assert_eq!(reopened.list_sessions(), vec![0, 1]);
+    assert_eq!(reopened.index().len(), index_len, "index rebuilt from manifests");
+
+    // A third session over week-2 data dedupes fully against resumed state.
+    let r2 = reopened.backup_session(&sources(&w1)).expect("s2");
+    // Only the tiny file (which bypasses the index by design) re-stores.
+    assert_eq!(r2.stored_bytes, 100, "resumed index must recognise all indexed chunks");
+
+    // Deletion works on resumed reference counts: drop the two old
+    // sessions; session 2 must survive with the shared PDF intact.
+    reopened.delete_session(0).expect("delete 0");
+    reopened.delete_session(1).expect("delete 1");
+    let restored = reopened.restore_session(2).expect("restore 2");
+    let pdf = restored.iter().find(|f| f.path.ends_with("shared.pdf")).expect("pdf");
+    assert_eq!(pdf.data, w1[1].data);
+}
+
+#[test]
+fn restore_file_fetches_single_path() {
+    let cloud = CloudSim::with_paper_defaults();
+    let mut engine = AaDedupe::new(cloud);
+    let files = week(3);
+    engine.backup_session(&sources(&files)).expect("backup");
+    let got = engine.restore_file(0, "user/doc/a.doc").expect("restore_file");
+    assert_eq!(got.data, files[0].data);
+    assert!(engine.restore_file(0, "user/doc/missing.doc").is_err());
+    assert!(engine.restore_file(9, "user/doc/a.doc").is_err());
+}
+
+#[test]
+fn open_tolerates_index_sync_disabled() {
+    // open() rebuilds from manifests, so it must work even when snapshots
+    // were never uploaded.
+    let cloud = CloudSim::with_paper_defaults();
+    let config = AaDedupeConfig { index_sync_interval: 0, ..AaDedupeConfig::default() };
+    let mut engine = AaDedupe::with_config(cloud.clone(), config.clone());
+    let files = week(4);
+    engine.backup_session(&sources(&files)).expect("backup");
+    drop(engine);
+
+    let mut reopened = AaDedupe::open(cloud, config).expect("open");
+    assert_eq!(reopened.sessions_completed(), 1);
+    let r = reopened.backup_session(&sources(&files)).expect("s1");
+    assert_eq!(r.stored_bytes, 100, "only the tiny file re-stores");
+}

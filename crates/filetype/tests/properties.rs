@@ -1,0 +1,65 @@
+//! Property-based tests for classification and policy.
+
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+use aadedupe_chunking::ChunkingMethod;
+use aadedupe_filetype::{classify, classify_extension, magic, AppType, Category, DedupPolicy};
+use aadedupe_hashing::HashAlgorithm;
+
+proptest! {
+    /// Classification is case-insensitive on extensions.
+    #[test]
+    fn classification_case_insensitive(stem in "[a-z]{1,10}", ext in "[a-zA-Z]{1,5}") {
+        let lower = classify(&PathBuf::from(format!("{stem}.{}", ext.to_lowercase())));
+        let upper = classify(&PathBuf::from(format!("{stem}.{}", ext.to_uppercase())));
+        prop_assert_eq!(lower, upper);
+    }
+
+    /// Every canonical extension maps back to its own type.
+    #[test]
+    fn canonical_extensions_round_trip(_x in any::<u8>()) {
+        for app in AppType::TABLE1 {
+            prop_assert_eq!(classify_extension(app.extension()), app, "{}", app);
+        }
+    }
+
+    /// Policy totality: every (policy, app) pair yields a coherent
+    /// (chunking, hash) combination — WFC implies a whole-file-grade hash
+    /// under the AA policy, CDC always gets SHA-1.
+    #[test]
+    fn aa_policy_coherence(app_i in 0usize..13) {
+        let app = AppType::ALL[app_i];
+        let (method, hash) = DedupPolicy::aa_dedupe().for_app(app);
+        match app.category() {
+            Category::Compressed => {
+                prop_assert_eq!(method, ChunkingMethod::Wfc);
+                prop_assert_eq!(hash, HashAlgorithm::Rabin96);
+            }
+            Category::StaticUncompressed => {
+                prop_assert_eq!(method, ChunkingMethod::Sc);
+                prop_assert_eq!(hash, HashAlgorithm::Md5);
+            }
+            Category::DynamicUncompressed => {
+                prop_assert_eq!(method, ChunkingMethod::Cdc);
+                prop_assert_eq!(hash, HashAlgorithm::Sha1);
+            }
+        }
+    }
+
+    /// The magic sniffer never panics on arbitrary heads, and whatever it
+    /// returns is stable.
+    #[test]
+    fn sniffer_total_and_deterministic(head in proptest::collection::vec(any::<u8>(), 0..1024)) {
+        let a = magic::sniff(&head);
+        let b = magic::sniff(&head);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Extension always beats content sniffing when known.
+    #[test]
+    fn extension_is_authoritative(head in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let t = aadedupe_filetype::classify_with_content(&PathBuf::from("x.pdf"), &head);
+        prop_assert_eq!(t, AppType::Pdf);
+    }
+}

@@ -1,0 +1,92 @@
+//! Hash substrate for AA-Dedupe.
+//!
+//! The AA-Dedupe paper (CLUSTER 2011) matches hash strength to chunk
+//! granularity to minimise computational overhead (its Observation 4):
+//!
+//! * **Whole-file chunks** (compressed applications) are fingerprinted with
+//!   an *extended 12-byte Rabin hash* — the number of whole-file chunks in a
+//!   personal dataset is so small that a weak hash already has a collision
+//!   probability far below the hardware error rate.
+//! * **Static 8 KiB chunks** (static uncompressed applications, VM images)
+//!   use a *16-byte MD5* fingerprint.
+//! * **Content-defined chunks** (dynamic uncompressed applications) use a
+//!   *20-byte SHA-1* fingerprint: boundary detection dominates CDC cost, so
+//!   the stronger hash is nearly free.
+//!
+//! This crate implements all three hash families from scratch:
+//!
+//! * [`Md5`] — RFC 1321.
+//! * [`Sha1`] — FIPS 180-1.
+//! * [`rabin`] — Rabin fingerprinting over GF(2): a one-shot polynomial
+//!   fingerprint ([`rabin::RabinFingerprinter`]), the 96-bit extended
+//!   variant used for whole files ([`rabin::extended_fingerprint`]), and the
+//!   rolling windowed hash that drives content-defined chunking
+//!   ([`rabin::RollingHash`]).
+//!
+//! The uniform [`Fingerprint`] type carries any of the three digests plus
+//! its algorithm tag, and is the key type of every chunk index in the
+//! workspace.
+
+pub mod fingerprint;
+pub mod md5;
+pub mod rabin;
+pub mod sha1;
+
+pub use fingerprint::{Fingerprint, HashAlgorithm};
+pub use md5::Md5;
+pub use sha1::Sha1;
+
+/// Convenience: MD5 digest of a byte slice.
+pub fn md5(data: &[u8]) -> [u8; 16] {
+    let mut h = Md5::new();
+    h.update(data);
+    h.finalize()
+}
+
+/// Convenience: SHA-1 digest of a byte slice.
+pub fn sha1(data: &[u8]) -> [u8; 20] {
+    let mut h = Sha1::new();
+    h.update(data);
+    h.finalize()
+}
+
+/// Convenience: 96-bit (12-byte) extended Rabin fingerprint of a byte slice.
+pub fn rabin96(data: &[u8]) -> [u8; 12] {
+    rabin::extended_fingerprint(data)
+}
+
+/// Lowercase hexadecimal rendering of a digest.
+pub fn to_hex(bytes: &[u8]) -> String {
+    const HEX: &[u8; 16] = b"0123456789abcdef";
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        s.push(HEX[(b >> 4) as usize] as char);
+        s.push(HEX[(b & 0xf) as usize] as char);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_rendering() {
+        assert_eq!(to_hex(&[0x00, 0x0f, 0xf0, 0xff]), "000ff0ff");
+        assert_eq!(to_hex(&[]), "");
+    }
+
+    #[test]
+    fn convenience_wrappers_match_streaming() {
+        let data = b"the quick brown fox";
+        let mut m = Md5::new();
+        m.update(&data[..9]);
+        m.update(&data[9..]);
+        assert_eq!(md5(data), m.finalize());
+
+        let mut s = Sha1::new();
+        s.update(&data[..4]);
+        s.update(&data[4..]);
+        assert_eq!(sha1(data), s.finalize());
+    }
+}

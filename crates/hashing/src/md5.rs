@@ -1,0 +1,220 @@
+//! MD5 message digest (RFC 1321), implemented from scratch.
+//!
+//! AA-Dedupe uses the 16-byte MD5 digest as the chunk fingerprint for
+//! *static uncompressed* application data deduplicated with static chunking
+//! (SC). MD5 is no longer collision-resistant against adversaries, but the
+//! paper's threat model is accidental collision in a TB-scale personal
+//! dataset, where the collision probability is many orders of magnitude
+//! below the hardware error rate.
+
+/// Streaming MD5 hasher.
+///
+/// ```
+/// use aadedupe_hashing::{Md5, to_hex};
+/// let mut h = Md5::new();
+/// h.update(b"abc");
+/// assert_eq!(to_hex(&h.finalize()), "900150983cd24fb0d6963f7d28e17f72");
+/// ```
+#[derive(Clone)]
+pub struct Md5 {
+    state: [u32; 4],
+    /// Total message length in bytes.
+    len: u64,
+    buf: [u8; 64],
+    buf_len: usize,
+}
+
+impl Default for Md5 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Per-round shift amounts (RFC 1321 §3.4).
+const S: [u32; 64] = [
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, //
+    5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, //
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, //
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+];
+
+/// Sine-derived constants `K[i] = floor(2^32 * abs(sin(i + 1)))`.
+const K: [u32; 64] = [
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a, 0xa8304613, 0xfd469501,
+    0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be, 0x6b901122, 0xfd987193, 0xa679438e, 0x49b40821,
+    0xf61e2562, 0xc040b340, 0x265e5a51, 0xe9b6c7aa, 0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8,
+    0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed, 0xa9e3e905, 0xfcefa3f8, 0x676f02d9, 0x8d2a4c8a,
+    0xfffa3942, 0x8771f681, 0x6d9d6122, 0xfde5380c, 0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70,
+    0x289b7ec6, 0xeaa127fa, 0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665,
+    0xf4292244, 0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92, 0xffeff47d, 0x85845dd1,
+    0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1, 0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391,
+];
+
+impl Md5 {
+    /// Creates a hasher in the RFC 1321 initial state.
+    pub fn new() -> Self {
+        Md5 {
+            state: [0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476],
+            len: 0,
+            buf: [0; 64],
+            buf_len: 0,
+        }
+    }
+
+    /// Absorbs `data` into the hash state.
+    pub fn update(&mut self, data: &[u8]) {
+        self.len = self.len.wrapping_add(data.len() as u64);
+        let mut data = data;
+        if self.buf_len > 0 {
+            let take = (64 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        // After the buffered branch either the buffer was flushed
+        // (buf_len == 0) or the input was fully absorbed; in the latter
+        // case the remainder logic below must not clobber the buffer.
+        if data.is_empty() {
+            return;
+        }
+        let mut chunks = data.chunks_exact(64);
+        for block in &mut chunks {
+            let mut b = [0u8; 64];
+            b.copy_from_slice(block);
+            self.compress(&b);
+        }
+        let rem = chunks.remainder();
+        self.buf[..rem.len()].copy_from_slice(rem);
+        self.buf_len = rem.len();
+    }
+
+    /// Completes the hash, returning the 16-byte digest.
+    pub fn finalize(mut self) -> [u8; 16] {
+        let bit_len = self.len.wrapping_mul(8);
+        // Padding: 0x80, zeros, then the 64-bit little-endian bit length.
+        self.update(&[0x80]);
+        while self.buf_len != 56 {
+            self.update(&[0]);
+        }
+        // Write the length directly into the buffer tail and compress,
+        // bypassing `update` so `len` bookkeeping doesn't matter any more.
+        self.buf[56..64].copy_from_slice(&bit_len.to_le_bytes());
+        let block = self.buf;
+        self.compress(&block);
+
+        let mut out = [0u8; 16];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
+        }
+        out
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut m = [0u32; 16];
+        for (i, w) in m.iter_mut().enumerate() {
+            *w = u32::from_le_bytes([
+                block[i * 4],
+                block[i * 4 + 1],
+                block[i * 4 + 2],
+                block[i * 4 + 3],
+            ]);
+        }
+
+        let [mut a, mut b, mut c, mut d] = self.state;
+        for i in 0..64 {
+            let (f, g) = match i / 16 {
+                0 => ((b & c) | (!b & d), i),
+                1 => ((d & b) | (!d & c), (5 * i + 1) % 16),
+                2 => (b ^ c ^ d, (3 * i + 5) % 16),
+                _ => (c ^ (b | !d), (7 * i) % 16),
+            };
+            let tmp = d;
+            d = c;
+            c = b;
+            let sum = a
+                .wrapping_add(f)
+                .wrapping_add(K[i])
+                .wrapping_add(m[g]);
+            b = b.wrapping_add(sum.rotate_left(S[i]));
+            a = tmp;
+        }
+
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::to_hex;
+
+    fn hex_md5(data: &[u8]) -> String {
+        let mut h = Md5::new();
+        h.update(data);
+        to_hex(&h.finalize())
+    }
+
+    /// RFC 1321 appendix A.5 test suite.
+    #[test]
+    fn rfc1321_vectors() {
+        assert_eq!(hex_md5(b""), "d41d8cd98f00b204e9800998ecf8427e");
+        assert_eq!(hex_md5(b"a"), "0cc175b9c0f1b6a831c399e269772661");
+        assert_eq!(hex_md5(b"abc"), "900150983cd24fb0d6963f7d28e17f72");
+        assert_eq!(hex_md5(b"message digest"), "f96b697d7cb7938d525a2f31aaf161d0");
+        assert_eq!(
+            hex_md5(b"abcdefghijklmnopqrstuvwxyz"),
+            "c3fcd3d76192e4007dfb496cca67e13b"
+        );
+        assert_eq!(
+            hex_md5(b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"),
+            "d174ab98d277d9f5a5611c2c9f419d9f"
+        );
+        assert_eq!(
+            hex_md5(
+                b"12345678901234567890123456789012345678901234567890123456789012345678901234567890"
+            ),
+            "57edf4a22be3c955ac49da2e2107b67a"
+        );
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(100_000).collect();
+        // Feed in irregular pieces crossing every block boundary pattern.
+        for split in [1usize, 7, 63, 64, 65, 127, 4096] {
+            let mut h = Md5::new();
+            for piece in data.chunks(split) {
+                h.update(piece);
+            }
+            assert_eq!(h.finalize(), crate::md5(&data), "split={split}");
+        }
+    }
+
+    #[test]
+    fn length_boundary_padding() {
+        // Messages of lengths 54..=130 cross the one-vs-two padding-block
+        // boundary (55/56) and the block boundary (64).
+        for n in 54..=130usize {
+            let data = vec![0xabu8; n];
+            let d1 = crate::md5(&data);
+            let mut h = Md5::new();
+            h.update(&data[..n / 2]);
+            h.update(&data[n / 2..]);
+            assert_eq!(h.finalize(), d1, "len={n}");
+        }
+    }
+
+    #[test]
+    fn million_a() {
+        let data = vec![b'a'; 1_000_000];
+        assert_eq!(hex_md5(&data), "7707d6ae4e027c70eea2a935c2296f21");
+    }
+}

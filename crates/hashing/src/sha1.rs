@@ -1,0 +1,194 @@
+//! SHA-1 message digest (FIPS 180-1), implemented from scratch.
+//!
+//! AA-Dedupe uses the 20-byte SHA-1 digest as the chunk fingerprint for
+//! *dynamic uncompressed* application data deduplicated with content-defined
+//! chunking (CDC). Because most of CDC's computational cost is spent on
+//! Rabin-window boundary detection rather than fingerprinting, the paper
+//! keeps the strong hash here "with only a slight increase in overhead".
+
+/// Streaming SHA-1 hasher.
+///
+/// ```
+/// use aadedupe_hashing::{Sha1, to_hex};
+/// let mut h = Sha1::new();
+/// h.update(b"abc");
+/// assert_eq!(to_hex(&h.finalize()), "a9993e364706816aba3e25717850c26c9cd0d89d");
+/// ```
+#[derive(Clone)]
+pub struct Sha1 {
+    state: [u32; 5],
+    /// Total message length in bytes.
+    len: u64,
+    buf: [u8; 64],
+    buf_len: usize,
+}
+
+impl Default for Sha1 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha1 {
+    /// Creates a hasher in the FIPS 180-1 initial state.
+    pub fn new() -> Self {
+        Sha1 {
+            state: [0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476, 0xc3d2e1f0],
+            len: 0,
+            buf: [0; 64],
+            buf_len: 0,
+        }
+    }
+
+    /// Absorbs `data` into the hash state.
+    pub fn update(&mut self, data: &[u8]) {
+        self.len = self.len.wrapping_add(data.len() as u64);
+        let mut data = data;
+        if self.buf_len > 0 {
+            let take = (64 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        // After the buffered branch either the buffer was flushed
+        // (buf_len == 0) or the input was fully absorbed; in the latter
+        // case the remainder logic below must not clobber the buffer.
+        if data.is_empty() {
+            return;
+        }
+        let mut chunks = data.chunks_exact(64);
+        for block in &mut chunks {
+            let mut b = [0u8; 64];
+            b.copy_from_slice(block);
+            self.compress(&b);
+        }
+        let rem = chunks.remainder();
+        self.buf[..rem.len()].copy_from_slice(rem);
+        self.buf_len = rem.len();
+    }
+
+    /// Completes the hash, returning the 20-byte digest.
+    pub fn finalize(mut self) -> [u8; 20] {
+        let bit_len = self.len.wrapping_mul(8);
+        self.update(&[0x80]);
+        while self.buf_len != 56 {
+            self.update(&[0]);
+        }
+        // Big-endian length, written directly into the final block.
+        self.buf[56..64].copy_from_slice(&bit_len.to_be_bytes());
+        let block = self.buf;
+        self.compress(&block);
+
+        let mut out = [0u8; 20];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 80];
+        for (i, word) in w.iter_mut().take(16).enumerate() {
+            *word = u32::from_be_bytes([
+                block[i * 4],
+                block[i * 4 + 1],
+                block[i * 4 + 2],
+                block[i * 4 + 3],
+            ]);
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+
+        let [mut a, mut b, mut c, mut d, mut e] = self.state;
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i / 20 {
+                0 => ((b & c) | (!b & d), 0x5a827999),
+                1 => (b ^ c ^ d, 0x6ed9eba1),
+                2 => ((b & c) | (b & d) | (c & d), 0x8f1bbcdc),
+                _ => (b ^ c ^ d, 0xca62c1d6),
+            };
+            let tmp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = tmp;
+        }
+
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::to_hex;
+
+    fn hex_sha1(data: &[u8]) -> String {
+        let mut h = Sha1::new();
+        h.update(data);
+        to_hex(&h.finalize())
+    }
+
+    /// FIPS 180-1 appendix A/B vectors plus well-known extras.
+    #[test]
+    fn fips_vectors() {
+        assert_eq!(hex_sha1(b"abc"), "a9993e364706816aba3e25717850c26c9cd0d89d");
+        assert_eq!(
+            hex_sha1(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+        assert_eq!(hex_sha1(b""), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+        assert_eq!(
+            hex_sha1(b"The quick brown fox jumps over the lazy dog"),
+            "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12"
+        );
+    }
+
+    /// FIPS 180-1 appendix C: one million 'a's.
+    #[test]
+    fn million_a() {
+        let data = vec![b'a'; 1_000_000];
+        assert_eq!(hex_sha1(&data), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let data: Vec<u8> = (0..10_000u32).flat_map(|x| x.to_le_bytes()).collect();
+        for split in [1usize, 13, 63, 64, 65, 255, 8192] {
+            let mut h = Sha1::new();
+            for piece in data.chunks(split) {
+                h.update(piece);
+            }
+            assert_eq!(h.finalize(), crate::sha1(&data), "split={split}");
+        }
+    }
+
+    #[test]
+    fn length_boundary_padding() {
+        for n in 54..=130usize {
+            let data = vec![0x5cu8; n];
+            let d1 = crate::sha1(&data);
+            let mut h = Sha1::new();
+            for b in &data {
+                h.update(std::slice::from_ref(b));
+            }
+            assert_eq!(h.finalize(), d1, "len={n}");
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Property-based tests for the index substrate: model-based checking
+//! against a plain `HashMap` reference, and snapshot-codec totality.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use aadedupe_filetype::AppType;
+use aadedupe_hashing::{Fingerprint, HashAlgorithm};
+use aadedupe_index::{codec, AppAwareIndex, ChunkEntry, ChunkIndex, MonolithicIndex};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u8, u64),
+    Lookup(u8),
+    Release(u8),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (any::<u8>(), any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
+            any::<u8>().prop_map(Op::Lookup),
+            any::<u8>().prop_map(Op::Release),
+        ],
+        0..200,
+    )
+}
+
+fn fp(k: u8) -> Fingerprint {
+    Fingerprint::compute(HashAlgorithm::Sha1, &[k])
+}
+
+proptest! {
+    /// The monolithic index behaves like a refcounted HashMap.
+    #[test]
+    fn monolithic_matches_reference_model(ops in arb_ops()) {
+        let index = MonolithicIndex::new(1 << 12);
+        let mut model: HashMap<u8, (u64, u32)> = HashMap::new(); // key -> (len, refs)
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    let inserted = index.insert(fp(k), ChunkEntry::new(v, 0, 0));
+                    prop_assert_eq!(inserted, !model.contains_key(&k));
+                    model.entry(k).or_insert((v, 1));
+                }
+                Op::Lookup(k) => {
+                    let got = index.lookup(&fp(k));
+                    match model.get_mut(&k) {
+                        Some((len, refs)) => {
+                            *refs += 1;
+                            prop_assert_eq!(got.map(|e| e.len), Some(*len));
+                        }
+                        None => prop_assert!(got.is_none()),
+                    }
+                }
+                Op::Release(k) => {
+                    let removed = index.release(&fp(k));
+                    match model.get_mut(&k) {
+                        Some((_, refs)) => {
+                            *refs -= 1;
+                            if *refs == 0 {
+                                prop_assert!(removed.is_some());
+                                model.remove(&k);
+                            } else {
+                                prop_assert!(removed.is_none());
+                            }
+                        }
+                        None => prop_assert!(removed.is_none()),
+                    }
+                }
+            }
+            prop_assert_eq!(ChunkIndex::len(&index), model.len());
+        }
+    }
+
+    /// Partitions are mutually invisible: operations under one app never
+    /// affect lookups under another.
+    #[test]
+    fn app_partitions_are_isolated(
+        ops in arb_ops(),
+        app_a in 0usize..13,
+        app_b in 0usize..13,
+    ) {
+        prop_assume!(app_a != app_b);
+        let a = AppType::ALL[app_a];
+        let b = AppType::ALL[app_b];
+        let index = AppAwareIndex::new(1 << 12);
+        for op in &ops {
+            match op {
+                Op::Insert(k, v) => { index.insert(a, fp(*k), ChunkEntry::new(*v, 0, 0)); }
+                Op::Lookup(k) => { index.lookup(a, &fp(*k)); }
+                Op::Release(k) => { index.release(a, &fp(*k)); }
+            }
+        }
+        // Partition b never saw anything.
+        for op in &ops {
+            if let Op::Insert(k, _) = op {
+                prop_assert!(index.lookup(b, &fp(*k)).is_none());
+            }
+        }
+        prop_assert_eq!(index.partition(b).len(), 0);
+    }
+
+    /// Snapshot encode/decode is the identity on index contents, for
+    /// arbitrary populations across partitions and algorithms.
+    #[test]
+    fn codec_round_trip(
+        entries in proptest::collection::vec(
+            (0usize..13, any::<u8>(), 1u64..1_000_000, any::<u32>()),
+            0..100
+        )
+    ) {
+        let index = AppAwareIndex::new(1 << 12);
+        for (app_i, k, len, offset) in &entries {
+            let app = AppType::ALL[*app_i];
+            let algo = match app_i % 3 {
+                0 => HashAlgorithm::Rabin96,
+                1 => HashAlgorithm::Md5,
+                _ => HashAlgorithm::Sha1,
+            };
+            let f = Fingerprint::compute(algo, &[*k]);
+            index.insert(app, f, ChunkEntry::new(*len, 7, *offset));
+        }
+        let snap = codec::encode_app_aware(&index);
+        let back = codec::decode_app_aware(&snap, 1 << 12).expect("decodes");
+        prop_assert_eq!(back.len(), index.len());
+        for (app, partition) in index.partitions() {
+            for (f, e) in partition.dump() {
+                let got = back.lookup(app, &f).expect("entry survives");
+                prop_assert_eq!(got.len, e.len);
+                prop_assert_eq!(got.container, e.container);
+                prop_assert_eq!(got.offset, e.offset);
+            }
+        }
+    }
+
+    /// The snapshot decoder is total: arbitrary bytes never panic.
+    #[test]
+    fn decoder_total(garbage in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let _ = codec::decode_app_aware(&garbage, 16);
+        let _ = codec::decode_monolithic(&garbage, 16);
+    }
+
+    /// Parallel batch lookup agrees with serial lookup on arbitrary
+    /// query mixes.
+    #[test]
+    fn parallel_batch_agrees(
+        population in proptest::collection::vec((0usize..13, any::<u8>()), 0..60),
+        queries in proptest::collection::vec((0usize..13, any::<u8>()), 0..60),
+    ) {
+        let index = AppAwareIndex::new(1 << 12);
+        for (app_i, k) in &population {
+            index.insert(AppType::ALL[*app_i], fp(*k), ChunkEntry::new(*k as u64 + 1, 0, 0));
+        }
+        let qs: Vec<(AppType, Fingerprint)> =
+            queries.iter().map(|(a, k)| (AppType::ALL[*a], fp(*k))).collect();
+        let parallel = index.lookup_batch_parallel(&qs);
+        // Lookups bump refcounts, so compare presence/len only.
+        for ((app, f), got) in qs.iter().zip(parallel) {
+            let serial = index.lookup(*app, f);
+            prop_assert_eq!(got.map(|e| e.len), serial.map(|e| e.len));
+        }
+    }
+}

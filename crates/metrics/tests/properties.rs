@@ -1,0 +1,66 @@
+//! Property-based tests for the metric formulas.
+
+use proptest::prelude::*;
+
+use aadedupe_metrics::{backup_window_secs, dedup_efficiency, dedup_ratio, EnergyModel};
+use std::time::Duration;
+
+proptest! {
+    /// DR is ≥ 1 whenever stored ≤ logical, and scales multiplicatively.
+    #[test]
+    fn dr_basics(logical in 1u64..u64::MAX / 4, divisor in 1u64..1000) {
+        let stored = (logical / divisor).max(1);
+        let dr = dedup_ratio(logical, stored);
+        prop_assert!(dr >= 1.0 - 1e-9);
+        prop_assert!((dr - logical as f64 / stored as f64).abs() < 1e-6);
+    }
+
+    /// DE is monotone in both DR and DT, bounded by DT, and zero at DR=1.
+    #[test]
+    fn de_shape(dr in 1.0f64..1000.0, dt in 1.0f64..1e12) {
+        let de = dedup_efficiency(dr, dt);
+        prop_assert!(de >= 0.0);
+        prop_assert!(de <= dt);
+        prop_assert!(dedup_efficiency(dr + 1.0, dt) >= de);
+        prop_assert!(dedup_efficiency(dr, dt * 2.0) >= de);
+        prop_assert_eq!(dedup_efficiency(1.0, dt), 0.0);
+    }
+
+    /// BWS equals the max of its two terms and is monotone in DS.
+    #[test]
+    fn bws_shape(
+        ds in 1u64..1 << 40,
+        dt in 1.0f64..1e10,
+        dr in 1.0f64..100.0,
+        nt in 1.0f64..1e9,
+    ) {
+        let w = backup_window_secs(ds, dt, dr, nt);
+        let dedup_term = ds as f64 / dt;
+        let net_term = ds as f64 / (dr * nt);
+        prop_assert!((w - dedup_term.max(net_term)).abs() <= 1e-6 * w.max(1.0));
+        // Monotone in dataset size.
+        prop_assert!(backup_window_secs(ds * 2, dt, dr, nt) >= w);
+        // Higher DR never lengthens the window.
+        prop_assert!(backup_window_secs(ds, dt, dr * 2.0, nt) <= w + 1e-9);
+    }
+
+    /// Energy is nonnegative, additive over phases, and monotone in every
+    /// duration.
+    #[test]
+    fn energy_shape(c in 0u64..10_000, t in 0u64..10_000, w in 0u64..10_000) {
+        let m = EnergyModel::laptop_2010();
+        let w = w.max(c).max(t); // window covers both phases
+        let e = m.session_energy(
+            Duration::from_secs(c),
+            Duration::from_secs(t),
+            Duration::from_secs(w),
+        );
+        prop_assert!(e >= 0.0);
+        let e_more_cpu = m.session_energy(
+            Duration::from_secs(c + 10),
+            Duration::from_secs(t),
+            Duration::from_secs(w + 10),
+        );
+        prop_assert!(e_more_cpu >= e);
+    }
+}

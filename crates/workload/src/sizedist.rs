@@ -1,0 +1,224 @@
+//! File-size distribution statistics (Figs. 1 and 2).
+//!
+//! The paper's motivating observation: ~61 % of files are smaller than
+//! 10 KiB yet hold only ~1.2 % of bytes, while the ~1.4 % of files above
+//! 1 MiB hold ~75 %. [`SizeHistogram`] reproduces both figures' bucketing
+//! from a snapshot.
+
+use crate::generator::Snapshot;
+
+/// The paper's size buckets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SizeBucket {
+    /// `< 10 KiB` — the "tiny file" class filtered before dedup.
+    Under10K,
+    /// `10 KiB – 100 KiB`.
+    K10To100K,
+    /// `100 KiB – 1 MiB`.
+    K100To1M,
+    /// `1 MiB – 10 MiB`.
+    M1To10M,
+    /// `10 MiB – 100 MiB`.
+    M10To100M,
+    /// `≥ 100 MiB`.
+    Over100M,
+}
+
+impl SizeBucket {
+    /// All buckets in ascending size order.
+    pub const ALL: [SizeBucket; 6] = [
+        SizeBucket::Under10K,
+        SizeBucket::K10To100K,
+        SizeBucket::K100To1M,
+        SizeBucket::M1To10M,
+        SizeBucket::M10To100M,
+        SizeBucket::Over100M,
+    ];
+
+    /// The bucket for a file of `len` bytes.
+    pub fn of(len: u64) -> Self {
+        const K: u64 = 1024;
+        const M: u64 = 1024 * 1024;
+        match len {
+            l if l < 10 * K => SizeBucket::Under10K,
+            l if l < 100 * K => SizeBucket::K10To100K,
+            l if l < M => SizeBucket::K100To1M,
+            l if l < 10 * M => SizeBucket::M1To10M,
+            l if l < 100 * M => SizeBucket::M10To100M,
+            _ => SizeBucket::Over100M,
+        }
+    }
+
+    /// Axis label as used in the paper's figures.
+    pub const fn label(self) -> &'static str {
+        match self {
+            SizeBucket::Under10K => "<10KB",
+            SizeBucket::K10To100K => "10KB-100KB",
+            SizeBucket::K100To1M => "100KB-1MB",
+            SizeBucket::M1To10M => "1MB-10MB",
+            SizeBucket::M10To100M => "10MB-100MB",
+            SizeBucket::Over100M => ">100MB",
+        }
+    }
+
+    fn index(self) -> usize {
+        SizeBucket::ALL.iter().position(|b| *b == self).expect("bucket listed")
+    }
+}
+
+/// Joint count/bytes histogram over the paper's size buckets.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SizeHistogram {
+    counts: [u64; 6],
+    bytes: [u64; 6],
+}
+
+impl SizeHistogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one file of `len` bytes.
+    pub fn add(&mut self, len: u64) {
+        let i = SizeBucket::of(len).index();
+        self.counts[i] += 1;
+        self.bytes[i] += len;
+    }
+
+    /// Histogram of a whole snapshot.
+    pub fn of_snapshot(snapshot: &Snapshot) -> Self {
+        let mut h = Self::new();
+        for f in &snapshot.files {
+            h.add(f.len() as u64);
+        }
+        h
+    }
+
+    /// Files in a bucket.
+    pub fn count(&self, b: SizeBucket) -> u64 {
+        self.counts[b.index()]
+    }
+
+    /// Bytes in a bucket.
+    pub fn bytes(&self, b: SizeBucket) -> u64 {
+        self.bytes[b.index()]
+    }
+
+    /// Total files.
+    pub fn total_count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Total bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+
+    /// Fraction of files in a bucket (Fig. 1's y-axis).
+    pub fn count_fraction(&self, b: SizeBucket) -> f64 {
+        let t = self.total_count();
+        if t == 0 {
+            0.0
+        } else {
+            self.count(b) as f64 / t as f64
+        }
+    }
+
+    /// Fraction of bytes in a bucket (Fig. 2's y-axis).
+    pub fn bytes_fraction(&self, b: SizeBucket) -> f64 {
+        let t = self.total_bytes();
+        if t == 0 {
+            0.0
+        } else {
+            self.bytes(b) as f64 / t as f64
+        }
+    }
+
+    /// Fraction of files at or above 1 MiB (the paper's "1.4 % of files").
+    pub fn large_file_count_fraction(&self) -> f64 {
+        let large: u64 = [SizeBucket::M1To10M, SizeBucket::M10To100M, SizeBucket::Over100M]
+            .iter()
+            .map(|b| self.count(*b))
+            .sum();
+        if self.total_count() == 0 {
+            0.0
+        } else {
+            large as f64 / self.total_count() as f64
+        }
+    }
+
+    /// Fraction of bytes in files at or above 1 MiB (the paper's "75 %").
+    pub fn large_file_bytes_fraction(&self) -> f64 {
+        let large: u64 = [SizeBucket::M1To10M, SizeBucket::M10To100M, SizeBucket::Over100M]
+            .iter()
+            .map(|b| self.bytes(*b))
+            .sum();
+        if self.total_bytes() == 0 {
+            0.0
+        } else {
+            large as f64 / self.total_bytes() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DatasetSpec, Generator};
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(SizeBucket::of(0), SizeBucket::Under10K);
+        assert_eq!(SizeBucket::of(10 * 1024 - 1), SizeBucket::Under10K);
+        assert_eq!(SizeBucket::of(10 * 1024), SizeBucket::K10To100K);
+        assert_eq!(SizeBucket::of(100 * 1024), SizeBucket::K100To1M);
+        assert_eq!(SizeBucket::of(1 << 20), SizeBucket::M1To10M);
+        assert_eq!(SizeBucket::of(10 << 20), SizeBucket::M10To100M);
+        assert_eq!(SizeBucket::of(100 << 20), SizeBucket::Over100M);
+        assert_eq!(SizeBucket::of(u64::MAX), SizeBucket::Over100M);
+    }
+
+    #[test]
+    fn histogram_accumulates() {
+        let mut h = SizeHistogram::new();
+        h.add(1000);
+        h.add(2000);
+        h.add(5 << 20);
+        assert_eq!(h.count(SizeBucket::Under10K), 2);
+        assert_eq!(h.bytes(SizeBucket::Under10K), 3000);
+        assert_eq!(h.count(SizeBucket::M1To10M), 1);
+        assert_eq!(h.total_count(), 3);
+        assert!((h.count_fraction(SizeBucket::Under10K) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn synthetic_dataset_reproduces_fig1_and_fig2_shape() {
+        // A moderately sized dataset so fractions stabilise.
+        let mut generator = Generator::new(DatasetSpec::paper_scaled(48 << 20), 11);
+        let snap = generator.snapshot(0);
+        let h = SizeHistogram::of_snapshot(&snap);
+        // Fig. 1: tiny files ≈ 61 % of count.
+        let tiny_count = h.count_fraction(SizeBucket::Under10K);
+        assert!((0.50..0.72).contains(&tiny_count), "tiny count fraction {tiny_count}");
+        // Fig. 2: tiny files hold only a sliver of bytes.
+        let tiny_bytes = h.bytes_fraction(SizeBucket::Under10K);
+        assert!(tiny_bytes < 0.05, "tiny bytes fraction {tiny_bytes}");
+        // Large files hold the bulk of capacity.
+        let large_bytes = h.large_file_bytes_fraction();
+        assert!(large_bytes > 0.35, "large bytes fraction {large_bytes}");
+        // ...while being a small minority of files.
+        let large_count = h.large_file_count_fraction();
+        assert!(large_count < 0.15, "large count fraction {large_count}");
+    }
+
+    #[test]
+    fn empty_histogram_fractions_are_zero() {
+        let h = SizeHistogram::new();
+        for b in SizeBucket::ALL {
+            assert_eq!(h.count_fraction(b), 0.0);
+            assert_eq!(h.bytes_fraction(b), 0.0);
+        }
+        assert_eq!(h.large_file_bytes_fraction(), 0.0);
+    }
+}

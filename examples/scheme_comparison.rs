@@ -1,0 +1,63 @@
+//! Scheme comparison: the paper's five backup clients on one workload.
+//!
+//! A miniature of the full evaluation (`cargo run -p aadedupe-bench --bin
+//! evaluation`): Jungle Disk, BackupPC, Avamar, SAM and AA-Dedupe back up
+//! the same three weekly snapshots; the table shows where each scheme's
+//! strategy pays or costs.
+//!
+//! ```sh
+//! cargo run --release --example scheme_comparison
+//! ```
+
+use aa_dedupe::baselines::all_schemes;
+use aa_dedupe::cloud::CloudSim;
+use aa_dedupe::workload::{DatasetSpec, Generator};
+
+fn main() {
+    let sessions = 3;
+    let bytes_per_week = 12 << 20;
+
+    println!(
+        "{:<12} {:>10} {:>10} {:>8} {:>8} {:>10} {:>9}",
+        "scheme", "stored", "uploaded", "PUTs", "DR", "DE", "cost $"
+    );
+    for scheme_index in 0..5 {
+        // Fresh cloud + scheme + identical workload per contender.
+        let cloud = CloudSim::with_paper_defaults();
+        let mut scheme = all_schemes(&cloud).remove(scheme_index);
+        let mut generator = Generator::new(DatasetSpec::paper_scaled(bytes_per_week), 7);
+
+        let mut stored = 0u64;
+        let mut uploaded = 0u64;
+        let mut puts = 0u64;
+        let mut logical = 0u64;
+        let mut de_sum = 0.0;
+        for week in 0..sessions {
+            let snapshot = generator.snapshot(week);
+            let r = scheme.backup_session(&snapshot.as_sources()).expect("backup failed");
+            stored += r.stored_bytes;
+            uploaded += r.transferred_bytes;
+            puts += r.put_requests;
+            logical += r.logical_bytes;
+            de_sum += r.de();
+        }
+        // Every scheme must restore its last session bit-exactly; spot-check.
+        let restored = scheme.restore_session(sessions - 1).expect("restore failed");
+        assert!(!restored.is_empty());
+
+        println!(
+            "{:<12} {:>10} {:>10} {:>8} {:>8.2} {:>10} {:>9.4}",
+            scheme.name(),
+            format!("{} KiB", stored >> 10),
+            format!("{} KiB", uploaded >> 10),
+            puts,
+            logical as f64 / stored.max(1) as f64,
+            format!("{} KiB/s", (de_sum / sessions as f64) as u64 >> 10),
+            cloud.monthly_cost().total(),
+        );
+    }
+    println!(
+        "\nexpected shape: Jungle Disk stores the most; Avamar/SAM store little but pay in \
+         PUTs and CPU; AA-Dedupe matches their storage with far fewer requests."
+    );
+}

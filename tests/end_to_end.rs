@@ -1,0 +1,125 @@
+//! Cross-crate integration: every scheme, multi-session backup + restore.
+//!
+//! The correctness oracle for the whole workspace: for each of the five
+//! backup schemes, run several weekly sessions of the synthetic PC
+//! workload and require every session to restore bit-exactly.
+
+use std::collections::HashMap;
+
+use aa_dedupe::baselines::all_schemes;
+use aa_dedupe::cloud::CloudSim;
+use aa_dedupe::workload::{DatasetSpec, Generator, Snapshot};
+
+const SESSIONS: usize = 3;
+
+fn snapshots(seed: u64) -> Vec<Snapshot> {
+    let mut generator = Generator::new(DatasetSpec::tiny_test(), seed);
+    (0..SESSIONS).map(|w| generator.snapshot(w)).collect()
+}
+
+#[test]
+fn every_scheme_restores_every_session_bit_exactly() {
+    let snaps = snapshots(31);
+    for scheme_index in 0..5 {
+        let cloud = CloudSim::with_paper_defaults();
+        let mut scheme = all_schemes(&cloud).remove(scheme_index);
+        let name = scheme.name();
+        for snap in &snaps {
+            scheme.backup_session(&snap.as_sources()).unwrap_or_else(|e| {
+                panic!("{name}: backup of week {} failed: {e}", snap.week)
+            });
+        }
+        assert_eq!(scheme.sessions_completed(), SESSIONS, "{name}");
+        for (week, snap) in snaps.iter().enumerate() {
+            let restored = scheme
+                .restore_session(week)
+                .unwrap_or_else(|e| panic!("{name}: restore of week {week} failed: {e}"));
+            let by_path: HashMap<&str, &[u8]> =
+                restored.iter().map(|f| (f.path.as_str(), f.data.as_slice())).collect();
+            assert_eq!(restored.len(), snap.file_count(), "{name} week {week}");
+            for f in &snap.files {
+                let got = by_path
+                    .get(f.path.as_str())
+                    .unwrap_or_else(|| panic!("{name} week {week}: missing {}", f.path));
+                assert_eq!(*got, f.materialize().as_slice(), "{name} week {week}: {}", f.path);
+            }
+        }
+    }
+}
+
+#[test]
+fn schemes_rank_as_the_paper_reports() {
+    // Coarse shape assertions on a small workload: cumulative storage
+    // ordering and request-count ordering across strategies.
+    let snaps = snapshots(77);
+    let mut stored: HashMap<&'static str, u64> = HashMap::new();
+    let mut puts: HashMap<&'static str, u64> = HashMap::new();
+    let mut cpu: HashMap<&'static str, f64> = HashMap::new();
+    for scheme_index in 0..5 {
+        let cloud = CloudSim::with_paper_defaults();
+        let mut scheme = all_schemes(&cloud).remove(scheme_index);
+        let mut s = 0u64;
+        let mut p = 0u64;
+        let mut c = 0f64;
+        for snap in &snaps {
+            let r = scheme.backup_session(&snap.as_sources()).expect("backup");
+            s += r.stored_bytes;
+            p += r.put_requests;
+            c += r.dedup_cpu.as_secs_f64();
+        }
+        stored.insert(scheme.name(), s);
+        puts.insert(scheme.name(), p);
+        cpu.insert(scheme.name(), c);
+    }
+    // Fig. 7 ordering: incremental stores the most; chunk-level the least.
+    assert!(
+        stored["Jungle Disk"] >= stored["Avamar"],
+        "incremental must store at least as much as CDC dedup: {stored:?}"
+    );
+    assert!(
+        stored["BackupPC"] >= stored["Avamar"],
+        "file-level dedup cannot beat chunk-level on stored bytes: {stored:?}"
+    );
+    // AA-Dedupe approaches fine-grained storage (within 35% of Avamar on
+    // this workload; the gap is tiny-file bypass + per-app partitioning).
+    assert!(
+        (stored["AA-Dedupe"] as f64) <= 1.35 * stored["Avamar"] as f64,
+        "AA-Dedupe should approach Avamar's space efficiency: {stored:?}"
+    );
+    // Fig. 10 mechanism: container aggregation means far fewer PUTs than
+    // per-chunk upload.
+    assert!(
+        puts["AA-Dedupe"] * 3 <= puts["Avamar"],
+        "containers must slash request counts: {puts:?}"
+    );
+    // Fig. 11 mechanism: Avamar burns the most dedup CPU (SHA-1 + CDC over
+    // everything + monolithic index probes).
+    assert!(
+        cpu["Avamar"] >= cpu["AA-Dedupe"],
+        "Avamar must cost at least as much dedup CPU as AA-Dedupe: {cpu:?}"
+    );
+}
+
+#[test]
+fn unchanged_second_week_is_cheap_for_all_dedup_schemes() {
+    // Freeze the workload: two identical sessions. Every dedup scheme
+    // (not Jungle Disk, which is also cheap here; include it anyway) must
+    // transfer (almost) nothing the second time.
+    let mut generator = Generator::new(DatasetSpec::tiny_test(), 5);
+    let snap = generator.snapshot(0);
+    for scheme_index in 0..5 {
+        let cloud = CloudSim::with_paper_defaults();
+        let mut scheme = all_schemes(&cloud).remove(scheme_index);
+        let r0 = scheme.backup_session(&snap.as_sources()).expect("s0");
+        let r1 = scheme.backup_session(&snap.as_sources()).expect("s1");
+        let name = scheme.name();
+        // AA-Dedupe re-packs tiny files each session (the paper's filter
+        // trades that off); everyone else should be near zero too.
+        assert!(
+            r1.stored_bytes <= r0.logical_bytes / 20,
+            "{name}: second identical session stored {} of {} logical",
+            r1.stored_bytes,
+            r0.logical_bytes
+        );
+    }
+}
