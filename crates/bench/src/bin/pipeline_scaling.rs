@@ -1,0 +1,122 @@
+//! Pipeline scaling: backup throughput versus worker-thread count.
+//!
+//! Runs the same synthetic workload through the engine with
+//! `workers ∈ {1, 2, 4, 8}` (serial path for the workers = 1 baseline,
+//! forced parallel pipeline above) and reports wall-clock throughput and
+//! speedup as a JSON document on stdout, one object per configuration —
+//! machine-readable so CI and plotting scripts can track scaling without
+//! parsing tables.
+//!
+//! Run: `cargo run --release -p aadedupe-bench --bin pipeline_scaling`
+//!
+//! Environment knobs:
+//! * `AA_SCALE_MB` — approximate workload size in MiB (default 64).
+//! * `AA_SCALE_WORKERS` — comma-separated worker counts (default 1,2,4,8).
+//! * `AA_SCALE_REPS` — timed repetitions per configuration; the fastest
+//!   rep is reported (default 3).
+
+use std::time::Instant;
+
+use aadedupe_cloud::CloudSim;
+use aadedupe_core::{AaDedupe, AaDedupeConfig, BackupScheme, PipelineConfig, PipelineMode};
+use aadedupe_filetype::{MemoryFile, SourceFile};
+use aadedupe_workload::Prng;
+
+fn env_or<T: std::str::FromStr>(key: &str, default: T) -> T {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// A mixed-category corpus of ~`mb` MiB: large CDC-chunked media/archives,
+/// mid-size SC-chunked documents, and a sprinkle of tiny files so every
+/// pipeline stage (size filter, all three chunkers, tiny packer) is hot.
+fn corpus(mb: usize) -> Vec<MemoryFile> {
+    let mut files = Vec::new();
+    let target = mb << 20;
+    let mut produced = 0usize;
+    let exts = ["pdf", "doc", "mp3", "zip", "txt", "html", "vmdk", "avi"];
+    let mut i = 0usize;
+    while produced < target {
+        let ext = exts[i % exts.len()];
+        let len = match i % 8 {
+            // A few tiny files per cycle keep the bypass path exercised.
+            0 => 2 * 1024,
+            1 | 2 => 64 * 1024,
+            3..=5 => 256 * 1024,
+            _ => 1 << 20,
+        };
+        let mut data = vec![0u8; len];
+        Prng::derive(&[0x5CA1E, i as u64]).fill(&mut data);
+        // Make ~a third of the big files repeat earlier content so the
+        // dedup and duplicate-chunk paths see real traffic too.
+        if i % 3 == 2 && len >= 64 * 1024 {
+            let half = len / 2;
+            let (a, b) = data.split_at_mut(half);
+            b[..half].copy_from_slice(&a[..half]);
+        }
+        files.push(MemoryFile::new(format!("scale/f{i:05}.{ext}"), data));
+        produced += len;
+        i += 1;
+    }
+    files
+}
+
+fn time_backup(files: &[MemoryFile], pipeline: PipelineConfig) -> f64 {
+    let config = AaDedupeConfig { pipeline, ..AaDedupeConfig::default() };
+    let mut engine = AaDedupe::with_config(CloudSim::with_paper_defaults(), config);
+    let sources: Vec<&dyn SourceFile> = files.iter().map(|f| f as &dyn SourceFile).collect();
+    let start = Instant::now();
+    engine.backup_session(&sources).expect("backup");
+    start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let mb: usize = env_or("AA_SCALE_MB", 64);
+    let reps: usize = env_or("AA_SCALE_REPS", 3);
+    let workers: Vec<usize> = std::env::var("AA_SCALE_WORKERS")
+        .map(|s| s.split(',').map(|w| w.trim().parse().expect("worker count")).collect())
+        .unwrap_or_else(|_| vec![1, 2, 4, 8]);
+
+    let files = corpus(mb);
+    let logical: usize = files.iter().map(|f| f.data.len()).sum();
+    eprintln!(
+        "pipeline_scaling: {} files, {} MiB, workers {:?}, best of {}",
+        files.len(),
+        logical >> 20,
+        workers,
+        reps
+    );
+
+    let mut results: Vec<(usize, f64)> = Vec::new();
+    for &w in &workers {
+        let pipeline = if w == 1 {
+            PipelineConfig { workers: 1, queue_depth: 4, mode: PipelineMode::Serial }
+        } else {
+            PipelineConfig { workers: w, queue_depth: 4, mode: PipelineMode::Parallel }
+        };
+        let best = (0..reps.max(1))
+            .map(|_| time_backup(&files, pipeline))
+            .fold(f64::INFINITY, f64::min);
+        results.push((w, best));
+    }
+
+    let baseline = results
+        .iter()
+        .find(|(w, _)| *w == 1)
+        .map(|&(_, t)| t)
+        .unwrap_or(results[0].1);
+    println!("{{");
+    println!("  \"workload_mib\": {},", logical >> 20);
+    println!("  \"files\": {},", files.len());
+    println!("  \"reps\": {reps},");
+    println!("  \"results\": [");
+    for (i, (w, t)) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        println!(
+            "    {{\"workers\": {w}, \"seconds\": {t:.4}, \"mib_per_s\": {:.2}, \"speedup\": {:.3}}}{comma}",
+            logical as f64 / (1 << 20) as f64 / t,
+            baseline / t
+        );
+    }
+    println!("  ]");
+    println!("}}");
+}

@@ -40,7 +40,8 @@ pub struct StreamChunker<R: Read> {
 enum Method {
     Wfc,
     Sc(ScChunker),
-    Cdc(CdcChunker),
+    // Boxed: CdcChunker embeds its 4 KiB roll table.
+    Cdc(Box<CdcChunker>),
 }
 
 impl<R: Read> StreamChunker<R> {
@@ -56,7 +57,24 @@ impl<R: Read> StreamChunker<R> {
 
     /// Content-defined streaming.
     pub fn cdc(reader: R, chunker: CdcChunker) -> Self {
-        Self::new(reader, Method::Cdc(chunker))
+        Self::new(reader, Method::Cdc(Box::new(chunker)))
+    }
+
+    /// Streaming chunker for any [`ChunkingMethod`], constructed from the
+    /// method's parameters — the entry point the parallel backup pipeline
+    /// uses so every worker thread builds its own chunker (the type is
+    /// `Send`; see the `stream_chunker_is_send` test).
+    pub fn for_method(
+        reader: R,
+        method: ChunkingMethod,
+        sc_chunk_size: usize,
+        cdc: crate::CdcParams,
+    ) -> Self {
+        match method {
+            ChunkingMethod::Wfc => Self::wfc(reader),
+            ChunkingMethod::Sc => Self::sc(reader, ScChunker::new(sc_chunk_size)),
+            ChunkingMethod::Cdc => Self::cdc(reader, CdcChunker::new(cdc)),
+        }
     }
 
     fn new(reader: R, method: Method) -> Self {
@@ -233,6 +251,40 @@ mod tests {
         let consumed: usize = s.by_ref().map(|c| c.data.len()).sum();
         assert_eq!(consumed, 10_000, "bytes before the error still chunk");
         assert!(s.io_error().is_some());
+    }
+
+    #[test]
+    fn stream_chunker_is_send() {
+        // The parallel pipeline moves chunkers into worker threads; a
+        // non-Send field sneaking into StreamChunker must fail this build.
+        fn assert_send<T: Send>() {}
+        assert_send::<StreamChunker<std::io::Cursor<Vec<u8>>>>();
+        assert_send::<StreamChunker<&[u8]>>();
+    }
+
+    #[test]
+    fn for_method_matches_dedicated_constructors() {
+        let data = pseudo_random(120_000, 21);
+        for method in [ChunkingMethod::Wfc, ChunkingMethod::Sc, ChunkingMethod::Cdc] {
+            let via_for_method: Vec<usize> =
+                StreamChunker::for_method(&data[..], method, 8192, DEFAULT_CDC)
+                    .map(|c| c.data.len())
+                    .collect();
+            let direct: Vec<usize> = match method {
+                ChunkingMethod::Wfc => {
+                    StreamChunker::wfc(&data[..]).map(|c| c.data.len()).collect()
+                }
+                ChunkingMethod::Sc => StreamChunker::sc(&data[..], ScChunker::new(8192))
+                    .map(|c| c.data.len())
+                    .collect(),
+                ChunkingMethod::Cdc => {
+                    StreamChunker::cdc(&data[..], CdcChunker::new(DEFAULT_CDC))
+                        .map(|c| c.data.len())
+                        .collect()
+                }
+            };
+            assert_eq!(via_for_method, direct, "{method:?}");
+        }
     }
 
     #[test]

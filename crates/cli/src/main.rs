@@ -6,7 +6,7 @@
 //! restores any past session bit-exactly.
 //!
 //! ```text
-//! aabackup backup  --repo <dir> <source-dir>      run one backup session
+//! aabackup backup  --repo <dir> [--workers N] <source-dir>
 //! aabackup restore --repo <dir> <session> <out>   restore a session
 //! aabackup restore-file --repo <dir> <session> <path> <out-file>
 //! aabackup sessions --repo <dir>                  list sessions
@@ -21,13 +21,13 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use aadedupe_cloud::{CloudSim, FsObjectStore, PriceModel, WanModel};
-use aadedupe_core::{AaDedupe, AaDedupeConfig, BackupScheme};
+use aadedupe_core::{AaDedupe, AaDedupeConfig, BackupScheme, PipelineConfig};
 
 use source::walk_directory;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  aabackup backup  --repo <dir> <source-dir>\n  aabackup restore --repo <dir> <session> <out-dir>\n  aabackup restore-file --repo <dir> <session> <path> <out-file>\n  aabackup sessions --repo <dir>\n  aabackup delete  --repo <dir> <session>\n  aabackup stats   --repo <dir>"
+        "usage:\n  aabackup backup  --repo <dir> [--workers N] <source-dir>\n  aabackup restore --repo <dir> <session> <out-dir>\n  aabackup restore-file --repo <dir> <session> <path> <out-file>\n  aabackup sessions --repo <dir>\n  aabackup delete  --repo <dir> <session>\n  aabackup stats   --repo <dir>"
     );
     ExitCode::from(2)
 }
@@ -43,7 +43,24 @@ fn take_repo(args: &mut Vec<String>) -> Option<PathBuf> {
     Some(PathBuf::from(dir))
 }
 
-fn open_engine(repo: &Path) -> Result<AaDedupe, String> {
+/// Splits `--workers <n>` out of the argument list. `Err` means the flag
+/// was present but malformed (missing or non-numeric value, or zero).
+fn take_workers(args: &mut Vec<String>) -> Result<Option<usize>, ()> {
+    let Some(i) = args.iter().position(|a| a == "--workers") else {
+        return Ok(None);
+    };
+    if i + 1 >= args.len() {
+        return Err(());
+    }
+    let value = args.remove(i + 1);
+    args.remove(i);
+    match value.parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(Some(n)),
+        _ => Err(()),
+    }
+}
+
+fn open_engine(repo: &Path, workers: usize) -> Result<AaDedupe, String> {
     let store =
         FsObjectStore::open(repo).map_err(|e| format!("cannot open repository {repo:?}: {e}"))?;
     // A local repository has no WAN: model an ideal fast link so timings
@@ -53,11 +70,15 @@ fn open_engine(repo: &Path) -> Result<AaDedupe, String> {
         WanModel::ideal(1e9, 1e9),
         PriceModel::s3_april_2011(),
     );
-    AaDedupe::open(cloud, AaDedupeConfig::default()).map_err(|e| format!("cannot resume repository state: {e}"))
+    let config = AaDedupeConfig {
+        pipeline: PipelineConfig::with_workers(workers),
+        ..AaDedupeConfig::default()
+    };
+    AaDedupe::open(cloud, config).map_err(|e| format!("cannot resume repository state: {e}"))
 }
 
-fn cmd_backup(repo: &Path, src: &Path) -> Result<(), String> {
-    let mut engine = open_engine(repo)?;
+fn cmd_backup(repo: &Path, src: &Path, workers: usize) -> Result<(), String> {
+    let mut engine = open_engine(repo, workers)?;
     let files =
         walk_directory(src).map_err(|e| format!("cannot walk source {src:?}: {e}"))?;
     let sources: Vec<&dyn aadedupe_filetype::SourceFile> =
@@ -87,7 +108,7 @@ fn cmd_backup(repo: &Path, src: &Path) -> Result<(), String> {
 }
 
 fn cmd_restore(repo: &Path, session: usize, out: &Path) -> Result<(), String> {
-    let engine = open_engine(repo)?;
+    let engine = open_engine(repo, 1)?;
     let files = engine
         .restore_session(session)
         .map_err(|e| format!("restore failed: {e}"))?;
@@ -103,7 +124,7 @@ fn cmd_restore(repo: &Path, session: usize, out: &Path) -> Result<(), String> {
 }
 
 fn cmd_restore_file(repo: &Path, session: usize, path: &str, out: &Path) -> Result<(), String> {
-    let engine = open_engine(repo)?;
+    let engine = open_engine(repo, 1)?;
     let file = engine
         .restore_file(session, path)
         .map_err(|e| format!("restore failed: {e}"))?;
@@ -118,7 +139,7 @@ fn cmd_restore_file(repo: &Path, session: usize, path: &str, out: &Path) -> Resu
 }
 
 fn cmd_sessions(repo: &Path) -> Result<(), String> {
-    let engine = open_engine(repo)?;
+    let engine = open_engine(repo, 1)?;
     let sessions = engine.list_sessions();
     if sessions.is_empty() {
         println!("no sessions");
@@ -137,14 +158,14 @@ fn cmd_sessions(repo: &Path) -> Result<(), String> {
 }
 
 fn cmd_delete(repo: &Path, session: usize) -> Result<(), String> {
-    let mut engine = open_engine(repo)?;
+    let mut engine = open_engine(repo, 1)?;
     engine.delete_session(session).map_err(|e| format!("delete failed: {e}"))?;
     println!("deleted session {session}; unreferenced containers reclaimed");
     Ok(())
 }
 
 fn cmd_stats(repo: &Path) -> Result<(), String> {
-    let engine = open_engine(repo)?;
+    let engine = open_engine(repo, 1)?;
     let store = engine.cloud().store();
     println!("repository: {} objects, {}", store.object_count(), human(store.stored_bytes()));
     println!(
@@ -184,9 +205,11 @@ fn main() -> ExitCode {
     let Some(command) = args.first().cloned() else { return usage() };
     args.remove(0);
     let Some(repo) = take_repo(&mut args) else { return usage() };
+    let Ok(workers) = take_workers(&mut args) else { return usage() };
+    let workers = workers.unwrap_or(1);
 
     let result = match (command.as_str(), args.as_slice()) {
-        ("backup", [src]) => cmd_backup(&repo, Path::new(src)),
+        ("backup", [src]) => cmd_backup(&repo, Path::new(src), workers),
         ("restore", [session, out]) => match session.parse() {
             Ok(s) => cmd_restore(&repo, s, Path::new(out)),
             Err(_) => return usage(),

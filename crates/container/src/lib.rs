@@ -28,7 +28,10 @@ pub mod store;
 
 pub use builder::ContainerBuilder;
 pub use format::{ChunkDescriptor, ContainerError, ParsedContainer, CONTAINER_MAGIC};
-pub use store::{ContainerStore, Placement, SealedContainer, StoreStats};
+pub use store::{
+    compose_id, decompose_id, ContainerStore, Placement, SealedContainer, StoreStats,
+    STREAM_ID_SHIFT,
+};
 
 /// Default fixed container size: 1 MiB (paper §III.F).
 pub const DEFAULT_CONTAINER_SIZE: usize = 1 << 20;

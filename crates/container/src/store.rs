@@ -9,11 +9,39 @@
 //! (AA-Dedupe uses one stream per application type, preserving chunk
 //! locality for restores), and the store routes each chunk to that stream's
 //! open container, sealing and queueing full containers for upload.
+//!
+//! Container ids are *per-stream*: id = `stream << STREAM_ID_SHIFT | seq`,
+//! with an independent sequence counter per stream ([`compose_id`] /
+//! [`decompose_id`]). A stream's container layout therefore depends only
+//! on that stream's own append sequence — never on how appends to
+//! different streams interleave. This is the property the parallel backup
+//! pipeline relies on for determinism: as long as each stream's chunks
+//! arrive in a fixed order, the produced containers are byte-identical no
+//! matter how many threads feed the store.
 
 use crate::builder::ContainerBuilder;
 use crate::format::{ChunkDescriptor, ContainerError, ParsedContainer};
 use aadedupe_hashing::Fingerprint;
 use std::collections::HashMap;
+
+/// Bit position splitting a container id into (stream, sequence): the low
+/// 40 bits count containers within a stream (over a trillion per stream),
+/// the high bits carry the stream id.
+pub const STREAM_ID_SHIFT: u32 = 40;
+
+/// Builds a container id from a stream id and that stream's sequence
+/// number.
+pub fn compose_id(stream: u32, seq: u64) -> u64 {
+    debug_assert!(seq < 1 << STREAM_ID_SHIFT, "stream sequence overflow");
+    ((stream as u64) << STREAM_ID_SHIFT) | seq
+}
+
+/// Splits a container id into (stream, sequence). Ids minted before the
+/// per-stream scheme decompose as stream 0, which is harmless: resuming
+/// treats them as floor values and new ids never collide with them.
+pub fn decompose_id(id: u64) -> (u32, u64) {
+    ((id >> STREAM_ID_SHIFT) as u32, id & ((1 << STREAM_ID_SHIFT) - 1))
+}
 
 /// A sealed container ready for upload.
 #[derive(Debug, Clone)]
@@ -55,7 +83,12 @@ pub struct StoreStats {
 /// Manages one open container per stream plus the sealed-output queue.
 pub struct ContainerStore {
     container_size: usize,
-    next_id: u64,
+    /// Next sequence number per stream (ids are per-stream, see
+    /// [`compose_id`]).
+    next_seq: HashMap<u32, u64>,
+    /// Floor applied to every stream's sequence, covering namespaces whose
+    /// existing ids predate the per-stream scheme.
+    seq_floor: u64,
     open: HashMap<u32, ContainerBuilder>,
     sealed: Vec<SealedContainer>,
     stats: StoreStats,
@@ -66,7 +99,8 @@ impl ContainerStore {
     pub fn new(container_size: usize) -> Self {
         ContainerStore {
             container_size,
-            next_id: 0,
+            next_seq: HashMap::new(),
+            seq_floor: 0,
             open: HashMap::new(),
             sealed: Vec::new(),
             stats: StoreStats::default(),
@@ -78,18 +112,27 @@ impl ContainerStore {
         self.container_size
     }
 
-    /// Ensures future container ids start at or after `next_id` — used
-    /// when resuming a store over a namespace that already holds
-    /// containers (ids must never be reused, or uploads would clobber
-    /// live objects).
-    pub fn resume_ids_from(&mut self, next_id: u64) {
-        self.next_id = self.next_id.max(next_id);
+    /// Ensures every stream's future sequence numbers start at or after
+    /// `next_seq` — used when resuming over a namespace holding containers
+    /// whose ids don't carry a stream part (ids must never be reused, or
+    /// uploads would clobber live objects).
+    pub fn resume_ids_from(&mut self, next_seq: u64) {
+        self.seq_floor = self.seq_floor.max(next_seq);
     }
 
-    fn fresh_id(&mut self) -> u64 {
-        let id = self.next_id;
-        self.next_id += 1;
-        id
+    /// Ensures `stream`'s future sequence numbers start at or after
+    /// `next_seq` — the per-stream resume used after decomposing existing
+    /// container ids with [`decompose_id`].
+    pub fn resume_stream_ids(&mut self, stream: u32, next_seq: u64) {
+        let seq = self.next_seq.entry(stream).or_insert(0);
+        *seq = (*seq).max(next_seq);
+    }
+
+    fn fresh_id(&mut self, stream: u32) -> u64 {
+        let seq = self.next_seq.entry(stream).or_insert(0);
+        let current = (*seq).max(self.seq_floor);
+        *seq = current + 1;
+        compose_id(stream, current)
     }
 
     /// Adds a chunk to `stream`'s open container, sealing/rolling as
@@ -104,7 +147,7 @@ impl ContainerStore {
         let fits_any = ContainerBuilder::new(u64::MAX, self.container_size)
             .fits(chunk.len(), digest_len);
         if !fits_any {
-            let id = self.fresh_id();
+            let id = self.fresh_id(stream);
             let mut b = ContainerBuilder::new(id, self.container_size);
             let offset = b.append(fp, chunk);
             let (bytes, padding) = b.seal();
@@ -128,7 +171,7 @@ impl ContainerStore {
         let id = match self.open.get(&stream) {
             Some(b) => b.container_id(),
             None => {
-                let id = self.fresh_id();
+                let id = self.fresh_id(stream);
                 self.open.insert(stream, ContainerBuilder::new(id, size));
                 id
             }
@@ -178,6 +221,10 @@ impl ContainerStore {
     }
 }
 
+/// A compacted container: its rewritten bytes plus the surviving chunks'
+/// new placements.
+pub type CompactedContainer = (Vec<u8>, Vec<(Fingerprint, Placement)>);
+
 /// Rewrites a container, keeping only chunks for which `live` returns true
 /// — the background deletion process of paper §III.F.
 ///
@@ -189,7 +236,7 @@ pub fn compact_container(
     live: &dyn Fn(&Fingerprint) -> bool,
     new_id: u64,
     container_size: usize,
-) -> Option<(Vec<u8>, Vec<(Fingerprint, Placement)>)> {
+) -> Option<CompactedContainer> {
     let survivors: Vec<&ChunkDescriptor> = parsed
         .descriptors
         .iter()
@@ -217,7 +264,7 @@ pub fn compact_container_bytes(
     live: &dyn Fn(&Fingerprint) -> bool,
     new_id: u64,
     container_size: usize,
-) -> Result<Option<(Vec<u8>, Vec<(Fingerprint, Placement)>)>, ContainerError> {
+) -> Result<Option<CompactedContainer>, ContainerError> {
     let parsed = ParsedContainer::parse(raw)?;
     Ok(compact_container(&parsed, live, new_id, container_size))
 }
@@ -357,6 +404,58 @@ mod tests {
         let sealed = store.drain_sealed();
         let r = compact_container_bytes(&sealed[0].bytes, &|_| false, 1, 4096).unwrap();
         assert!(r.is_none());
+    }
+
+    #[test]
+    fn ids_compose_and_decompose() {
+        for (stream, seq) in [(0u32, 0u64), (1, 0), (13, 7), (0, (1 << 40) - 1), (255, 12345)] {
+            let id = compose_id(stream, seq);
+            assert_eq!(decompose_id(id), (stream, seq));
+        }
+        // Legacy small ids decompose as stream 0.
+        assert_eq!(decompose_id(42), (0, 42));
+    }
+
+    #[test]
+    fn stream_layout_independent_of_interleaving() {
+        // The determinism contract: a stream's sealed containers depend
+        // only on that stream's own append sequence, not on how appends
+        // to other streams interleave with it.
+        let chunks_a: Vec<Vec<u8>> = (0..9u8).map(|i| vec![i; 900]).collect();
+        let chunks_b: Vec<Vec<u8>> = (0..9u8).map(|i| vec![i ^ 0x55; 700]).collect();
+
+        let run = |interleave: bool| -> Vec<(u64, Vec<u8>)> {
+            let mut store = ContainerStore::new(2048);
+            if interleave {
+                for (a, b) in chunks_a.iter().zip(&chunks_b) {
+                    store.add_chunk(1, fp(a), a);
+                    store.add_chunk(2, fp(b), b);
+                }
+            } else {
+                for b in &chunks_b {
+                    store.add_chunk(2, fp(b), b);
+                }
+                for a in &chunks_a {
+                    store.add_chunk(1, fp(a), a);
+                }
+            }
+            store.seal_all();
+            let mut sealed: Vec<(u64, Vec<u8>)> =
+                store.drain_sealed().into_iter().map(|s| (s.id, s.bytes)).collect();
+            sealed.sort_by_key(|(id, _)| *id);
+            sealed
+        };
+        assert_eq!(run(true), run(false), "sealed containers are order-independent");
+    }
+
+    #[test]
+    fn per_stream_resume_is_independent() {
+        let mut store = ContainerStore::new(4096);
+        store.resume_stream_ids(3, 17);
+        let p3 = store.add_chunk(3, fp(b"c"), b"c");
+        let p4 = store.add_chunk(4, fp(b"d"), b"d");
+        assert_eq!(decompose_id(p3.container), (3, 17));
+        assert_eq!(decompose_id(p4.container), (4, 0), "other streams unaffected");
     }
 
     #[test]

@@ -6,15 +6,48 @@
 //! application-aware index (one partition per application, each with a
 //! RAM-resident working set); new chunks are aggregated into 1 MiB
 //! containers per application stream; manifests and periodic index
-//! snapshots complete the cloud state. Chunking and fingerprinting can be
-//! fanned out to worker threads (the paper's "pipelined design").
+//! snapshots complete the cloud state.
+//!
+//! # Parallel pipeline
+//!
+//! With [`PipelineConfig::workers`] > 1 a session runs as a multi-stage
+//! pipeline built purely on `std::thread` + `std::sync::mpsc`:
+//!
+//! ```text
+//!          jobs                 per-app shards            append requests
+//! main ──────────▶ workers ──────────────────▶ dedup ──────────────────▶ appender
+//!  │    (bounded)  read+classify  (bounded,     shards   (reply channel)  (owns the
+//!  │               chunk+hash      one per app)   │                       ContainerStore)
+//!  │                                              │ outcomes
+//!  └───────────── tiny files (file order) ────────┴──▶ merge (file order)
+//! ```
+//!
+//! Determinism contract: the output (containers, manifests, index,
+//! report counters) is *identical* to a serial run for a fixed file
+//! ordering, because
+//!
+//! 1. container ids are per-stream
+//!    ([`compose_id`](aadedupe_container::compose_id)), so a stream's
+//!    container layout depends only on that stream's own append sequence;
+//! 2. each application's chunks are deduplicated by exactly one shard
+//!    thread, which processes its files in file order (a reorder buffer
+//!    absorbs out-of-order worker completions), so every stream's append
+//!    sequence — and every partition's lookup/insert sequence — matches
+//!    the serial one;
+//! 3. tiny files are packed by the main thread in file order, feeding the
+//!    tiny stream the exact serial sequence;
+//! 4. a single appender thread owns the [`ContainerStore`], serving
+//!    placement requests; per-producer mpsc FIFO keeps each stream's
+//!    arrivals in its shard's send order.
 
-use std::collections::HashMap;
-use std::time::Instant;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
-use aadedupe_chunking::{CdcChunker, CdcParams, Chunker, ChunkingMethod, ScChunker, DEFAULT_CDC};
+use aadedupe_chunking::{CdcParams, StreamChunker, DEFAULT_CDC};
 use aadedupe_cloud::CloudSim;
-use aadedupe_container::{ContainerStore, DEFAULT_CONTAINER_SIZE};
+use aadedupe_container::{decompose_id, ContainerStore, Placement, DEFAULT_CONTAINER_SIZE};
 use aadedupe_filetype::{AppType, DedupPolicy, SourceFile};
 use aadedupe_hashing::Fingerprint;
 use aadedupe_index::{codec, AppAwareIndex, ChunkEntry};
@@ -24,6 +57,55 @@ use crate::recipe::{ChunkRef, FileRecipe, Manifest};
 use crate::restore::{container_key, restore_session, RestoredFile};
 use crate::scheme::{BackupError, BackupScheme};
 use crate::timing::DedupClock;
+
+/// How the engine decides between the serial and the parallel pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PipelineMode {
+    /// Parallel pipeline iff `workers > 1` (the default).
+    #[default]
+    Auto,
+    /// Always the serial path, whatever `workers` says.
+    Serial,
+    /// Always the parallel pipeline, even with one worker — useful for
+    /// exercising the pipeline machinery deterministically in tests.
+    Parallel,
+}
+
+/// Worker-pool configuration for the backup pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineConfig {
+    /// Chunk+hash worker threads (1 = serial under [`PipelineMode::Auto`]).
+    pub workers: usize,
+    /// Bound on in-flight items per channel: the job queue holds
+    /// `workers * queue_depth` file indices and each dedup shard buffers
+    /// `queue_depth` chunked files, keeping pipeline memory proportional
+    /// to thread count rather than dataset size.
+    pub queue_depth: usize,
+    /// Serial/parallel selection policy.
+    pub mode: PipelineMode,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig { workers: 1, queue_depth: 4, mode: PipelineMode::Auto }
+    }
+}
+
+impl PipelineConfig {
+    /// Pipeline with `workers` threads and default queueing.
+    pub fn with_workers(workers: usize) -> Self {
+        PipelineConfig { workers, ..PipelineConfig::default() }
+    }
+
+    /// Whether a session should run the parallel pipeline.
+    fn parallel(&self) -> bool {
+        match self.mode {
+            PipelineMode::Auto => self.workers > 1,
+            PipelineMode::Serial => false,
+            PipelineMode::Parallel => true,
+        }
+    }
+}
 
 /// Engine configuration. Defaults are the paper's evaluation settings.
 #[derive(Debug, Clone)]
@@ -42,8 +124,8 @@ pub struct AaDedupeConfig {
     pub ram_entries_per_partition: usize,
     /// Upload an index snapshot every N sessions (0 disables sync).
     pub index_sync_interval: usize,
-    /// Worker threads for chunk+hash (1 = serial).
-    pub chunk_workers: usize,
+    /// Backup pipeline worker-pool settings.
+    pub pipeline: PipelineConfig,
     /// Cloud namespace prefix for this engine's objects.
     pub scheme_key: String,
 }
@@ -58,7 +140,7 @@ impl Default for AaDedupeConfig {
             policy: DedupPolicy::aa_dedupe(),
             ram_entries_per_partition: 1 << 18,
             index_sync_interval: 1,
-            chunk_workers: 1,
+            pipeline: PipelineConfig::default(),
             scheme_key: "aa-dedupe".into(),
         }
     }
@@ -84,9 +166,6 @@ pub struct AaDedupe {
     /// Not persisted: after [`AaDedupe::open`] the first session re-packs
     /// tiny files once.
     tiny_seen: HashMap<String, (u64, ChunkRef)>,
-    wfc: aadedupe_chunking::WfcChunker,
-    sc: ScChunker,
-    cdc: CdcChunker,
 }
 
 /// The result of chunk+hash over one file.
@@ -94,7 +173,184 @@ struct ChunkedFile {
     /// (fingerprint, chunk bytes) in file order.
     chunks: Vec<(Fingerprint, Vec<u8>)>,
     /// CPU time spent producing them.
-    cpu: std::time::Duration,
+    cpu: Duration,
+}
+
+/// The result of deduplicating one file: its recipe plus the report
+/// deltas the merge step folds into the session totals.
+struct DedupedFile {
+    recipe: FileRecipe,
+    stored_bytes: u64,
+    chunks_duplicate: u64,
+    disk_reads: u64,
+    cpu: Duration,
+}
+
+/// A placement request sent to the single-writer appender thread.
+struct AppendReq {
+    stream: u32,
+    fp: Fingerprint,
+    bytes: Vec<u8>,
+    reply: mpsc::Sender<Placement>,
+}
+
+/// Chunk + fingerprint one file's bytes according to the policy, via the
+/// streaming chunker (identical boundaries to the batch API; each caller
+/// builds its own chunker, so worker threads share nothing).
+fn chunk_and_hash(
+    policy: &DedupPolicy,
+    sc_chunk_size: usize,
+    cdc: CdcParams,
+    app: AppType,
+    data: &[u8],
+) -> ChunkedFile {
+    let start = Instant::now();
+    let (method, hash) = policy.for_app(app);
+    let chunks = StreamChunker::for_method(data, method, sc_chunk_size, cdc)
+        .map(|c| (Fingerprint::compute(hash, &c.data), c.data))
+        .collect();
+    ChunkedFile { chunks, cpu: start.elapsed() }
+}
+
+/// Deduplicate one chunked file against its application's partition.
+/// `append` places a unique chunk and returns where it landed — directly
+/// into the [`ContainerStore`] on the serial path, via the appender
+/// thread's request channel on the parallel path. The lookup→insert
+/// sequence per partition is what both paths execute identically.
+fn dedupe_chunks(
+    index: &AppAwareIndex,
+    path: &str,
+    app: AppType,
+    chunked: ChunkedFile,
+    append: &mut dyn FnMut(Fingerprint, Vec<u8>) -> Placement,
+) -> DedupedFile {
+    let start = Instant::now();
+    let mut recipe = FileRecipe {
+        path: path.to_string(),
+        app,
+        tiny: false,
+        chunks: Vec::with_capacity(chunked.chunks.len()),
+    };
+    let (mut stored_bytes, mut chunks_duplicate, mut disk_reads) = (0u64, 0u64, 0u64);
+    for (fp, bytes) in chunked.chunks {
+        let outcome = index.lookup_classified(app, &fp);
+        if outcome.touched_disk() {
+            disk_reads += 1;
+        }
+        let reference = match outcome.entry() {
+            Some(entry) => {
+                chunks_duplicate += 1;
+                ChunkRef {
+                    fingerprint: fp,
+                    len: bytes.len() as u32,
+                    container: entry.container,
+                    offset: entry.offset,
+                }
+            }
+            None => {
+                let len = bytes.len();
+                let placement = append(fp, bytes);
+                index.insert(
+                    app,
+                    fp,
+                    ChunkEntry::new(len as u64, placement.container, placement.offset),
+                );
+                stored_bytes += len as u64;
+                ChunkRef {
+                    fingerprint: fp,
+                    len: len as u32,
+                    container: placement.container,
+                    offset: placement.offset,
+                }
+            }
+        };
+        recipe.chunks.push(reference);
+    }
+    DedupedFile {
+        recipe,
+        stored_bytes,
+        chunks_duplicate,
+        disk_reads,
+        cpu: chunked.cpu + start.elapsed(),
+    }
+}
+
+/// The tiny-file path: no chunk-level dedup (the size filter), but
+/// unchanged files (same change token) are carried forward by reference
+/// instead of re-packed — the Cumulus-style grouping the paper cites for
+/// its tiny-file handling. Always runs on the main thread, in file order.
+fn pack_tiny(
+    tiny_seen: &mut HashMap<String, (u64, ChunkRef)>,
+    file: &dyn SourceFile,
+    append: &mut dyn FnMut(Fingerprint, Vec<u8>) -> Placement,
+) -> DedupedFile {
+    let app = file.app_type();
+    let token = file.change_token();
+    if let Some((seen_token, reference)) = tiny_seen.get(file.path()) {
+        if *seen_token == token {
+            let reference = *reference;
+            return DedupedFile {
+                recipe: FileRecipe {
+                    path: file.path().to_string(),
+                    app,
+                    tiny: true,
+                    chunks: vec![reference],
+                },
+                stored_bytes: 0,
+                chunks_duplicate: 1,
+                disk_reads: 0,
+                cpu: Duration::ZERO,
+            };
+        }
+    }
+    let data = file.read();
+    let start = Instant::now();
+    // Tiny files are fingerprinted only for restore-time integrity
+    // (container descriptors need a key); they are not indexed.
+    let fp = Fingerprint::compute(aadedupe_hashing::HashAlgorithm::Sha1, &data);
+    let len = data.len();
+    let placement = append(fp, data);
+    let cpu = start.elapsed();
+    let reference = ChunkRef {
+        fingerprint: fp,
+        len: len as u32,
+        container: placement.container,
+        offset: placement.offset,
+    };
+    tiny_seen.insert(file.path().to_string(), (token, reference));
+    DedupedFile {
+        recipe: FileRecipe {
+            path: file.path().to_string(),
+            app,
+            tiny: true,
+            chunks: vec![reference],
+        },
+        stored_bytes: len as u64,
+        chunks_duplicate: 0,
+        disk_reads: 0,
+        cpu,
+    }
+}
+
+/// Folds one file's dedup outcome into the session totals and the
+/// container reference counts, returning the recipe for the manifest.
+/// Both pipelines funnel every file through here, in file order.
+fn absorb(
+    out: DedupedFile,
+    report: &mut SessionReport,
+    clock: &mut DedupClock,
+    container_live: &mut HashMap<u64, u64>,
+) -> FileRecipe {
+    report.chunks_total += out.recipe.chunks.len() as u64;
+    report.chunks_duplicate += out.chunks_duplicate;
+    report.stored_bytes += out.stored_bytes;
+    report.index_disk_reads += out.disk_reads;
+    clock.charge_disk_probes(out.disk_reads);
+    clock.add_cpu(out.cpu);
+    for c in &out.recipe.chunks {
+        *container_live.entry(c.container).or_insert(0) += 1;
+    }
+    out.recipe
 }
 
 impl AaDedupe {
@@ -111,9 +367,6 @@ impl AaDedupe {
             sessions: 0,
             container_live: HashMap::new(),
             tiny_seen: HashMap::new(),
-            wfc: aadedupe_chunking::WfcChunker::new(),
-            sc: ScChunker::new(config.sc_chunk_size),
-            cdc: CdcChunker::new(config.cdc),
             cloud,
             config,
         }
@@ -151,20 +404,17 @@ impl AaDedupe {
         Ok(engine)
     }
 
-    /// Advances the container id counter past every container object in
+    /// Advances every stream's container sequence past its containers in
     /// the cloud namespace, so resumed engines never clobber live
-    /// containers.
+    /// containers. Ids minted before the per-stream scheme decompose as
+    /// stream 0, which only over-advances the tiny stream — harmless.
     fn resume_container_ids(&mut self) {
         let prefix = format!("{}/containers/", self.config.scheme_key);
-        let max_id = self
-            .cloud
-            .store()
-            .list(&prefix)
-            .iter()
-            .filter_map(|k| k.rsplit('/').next()?.parse::<u64>().ok())
-            .max();
-        if let Some(id) = max_id {
-            self.containers.resume_ids_from(id + 1);
+        for key in self.cloud.store().list(&prefix) {
+            if let Some(id) = key.rsplit('/').next().and_then(|s| s.parse::<u64>().ok()) {
+                let (stream, seq) = decompose_id(id);
+                self.containers.resume_stream_ids(stream, seq + 1);
+            }
         }
     }
 
@@ -203,207 +453,244 @@ impl AaDedupe {
         &self.index
     }
 
-    /// Chunk + fingerprint one file's bytes according to the policy.
-    fn chunk_and_hash(&self, app: AppType, data: &[u8]) -> ChunkedFile {
-        let start = Instant::now();
-        let (method, hash) = self.config.policy.for_app(app);
-        let spans = match method {
-            ChunkingMethod::Wfc => self.wfc.chunk(data),
-            ChunkingMethod::Sc => self.sc.chunk(data),
-            ChunkingMethod::Cdc => self.cdc.chunk(data),
-        };
-        let chunks = spans
-            .iter()
-            .map(|s| {
-                let bytes = s.slice(data);
-                (Fingerprint::compute(hash, bytes), bytes.to_vec())
-            })
-            .collect();
-        ChunkedFile { chunks, cpu: start.elapsed() }
-    }
-
-    /// Deduplicate one chunked file into recipes/containers/index.
-    /// Returns the recipe and updates the report counters.
-    fn dedupe_file(
-        &mut self,
-        file: &dyn SourceFile,
-        chunked: ChunkedFile,
-        clock: &mut DedupClock,
-        report: &mut SessionReport,
-    ) -> FileRecipe {
-        let app = file.app_type();
-        let stream = app.tag() as u32;
-        let mut recipe = FileRecipe {
-            path: file.path().to_string(),
-            app,
-            tiny: false,
-            chunks: Vec::with_capacity(chunked.chunks.len()),
-        };
-        clock.add_cpu(chunked.cpu);
-        for (fp, bytes) in chunked.chunks {
-            report.chunks_total += 1;
-            let start = Instant::now();
-            let outcome = self.index.lookup_classified(app, &fp);
-            if outcome.touched_disk() {
-                clock.charge_disk_probes(1);
-                report.index_disk_reads += 1;
-            }
-            let reference = match outcome.entry() {
-                Some(entry) => {
-                    report.chunks_duplicate += 1;
-                    *self.container_live.entry(entry.container).or_insert(0) += 1;
-                    ChunkRef {
-                        fingerprint: fp,
-                        len: bytes.len() as u32,
-                        container: entry.container,
-                        offset: entry.offset,
-                    }
-                }
-                None => {
-                    let placement = self.containers.add_chunk(stream, fp, &bytes);
-                    self.index.insert(
-                        app,
-                        fp,
-                        ChunkEntry::new(bytes.len() as u64, placement.container, placement.offset),
-                    );
-                    *self.container_live.entry(placement.container).or_insert(0) += 1;
-                    report.stored_bytes += bytes.len() as u64;
-                    ChunkRef {
-                        fingerprint: fp,
-                        len: bytes.len() as u32,
-                        container: placement.container,
-                        offset: placement.offset,
-                    }
-                }
-            };
-            clock.add_cpu(start.elapsed());
-            recipe.chunks.push(reference);
-        }
-        recipe
-    }
-
-    /// The tiny-file path: no chunk-level dedup (the size filter), but
-    /// unchanged files (same change token) are carried forward by
-    /// reference instead of re-packed -- the Cumulus-style grouping the
-    /// paper cites for its tiny-file handling.
-    fn pack_tiny(
-        &mut self,
-        file: &dyn SourceFile,
-        clock: &mut DedupClock,
-        report: &mut SessionReport,
-    ) -> FileRecipe {
-        report.files_tiny += 1;
-        report.chunks_total += 1;
-        let token = file.change_token();
-        if let Some((seen_token, reference)) = self.tiny_seen.get(file.path()) {
-            if *seen_token == token {
-                report.chunks_duplicate += 1;
-                let reference = *reference;
-                *self.container_live.entry(reference.container).or_insert(0) += 1;
-                return FileRecipe {
-                    path: file.path().to_string(),
-                    app: file.app_type(),
-                    tiny: true,
-                    chunks: vec![reference],
-                };
-            }
-        }
-        let data = file.read();
-        let start = Instant::now();
-        // Tiny files are fingerprinted only for restore-time integrity
-        // (container descriptors need a key); they are not indexed.
-        let fp = Fingerprint::compute(aadedupe_hashing::HashAlgorithm::Sha1, &data);
-        let placement = self.containers.add_chunk(TINY_STREAM, fp, &data);
-        *self.container_live.entry(placement.container).or_insert(0) += 1;
-        report.stored_bytes += data.len() as u64;
-        clock.add_cpu(start.elapsed());
-        let reference = ChunkRef {
-            fingerprint: fp,
-            len: data.len() as u32,
-            container: placement.container,
-            offset: placement.offset,
-        };
-        self.tiny_seen.insert(file.path().to_string(), (token, reference));
-        FileRecipe {
-            path: file.path().to_string(),
-            app: file.app_type(),
-            tiny: true,
-            chunks: vec![reference],
-        }
-    }
-
-    /// Chunk+hash stage, fanned out to `chunk_workers` threads when
-    /// configured. Results are consumed in file order regardless of
-    /// completion order, so dedup outcomes are deterministic.
+    /// One session's size filter + chunk + dedup dataflow, serial or
+    /// parallel per the pipeline config. Both paths yield identical
+    /// manifests, containers, index state, and counters.
     fn run_session(
         &mut self,
         files: &[&dyn SourceFile],
         report: &mut SessionReport,
         clock: &mut DedupClock,
     ) -> Manifest {
-        let mut manifest = Manifest::new(self.sessions as u64);
-        let tiny_threshold = self.config.tiny_threshold;
-        let workers = self.config.chunk_workers.max(1);
-
-        // Indices of non-tiny files, to be chunked (possibly in parallel).
-        let big: Vec<usize> = (0..files.len())
-            .filter(|&i| files[i].size() >= tiny_threshold)
-            .collect();
-
-        let mut chunked: HashMap<usize, ChunkedFile> = HashMap::with_capacity(big.len());
-        if workers <= 1 {
-            for &i in &big {
-                let data = files[i].read();
-                let cf = self.chunk_and_hash(files[i].app_type(), &data);
-                chunked.insert(i, cf);
+        report.files_total += files.len() as u64;
+        for f in files {
+            report.logical_bytes += f.size();
+            if f.size() < self.config.tiny_threshold {
+                report.files_tiny += 1;
             }
+        }
+        if self.config.pipeline.parallel() {
+            self.run_session_parallel(files, report, clock)
         } else {
-            // Fan out chunk+hash; crossbeam channels keep memory bounded.
-            let (job_tx, job_rx) = crossbeam::channel::bounded::<usize>(workers * 2);
-            let (res_tx, res_rx) =
-                crossbeam::channel::bounded::<(usize, ChunkedFile)>(workers * 2);
-            let this: &AaDedupe = self;
-            std::thread::scope(|scope| {
-                for _ in 0..workers {
-                    let job_rx = job_rx.clone();
-                    let res_tx = res_tx.clone();
-                    scope.spawn(move || {
-                        while let Ok(i) = job_rx.recv() {
-                            let data = files[i].read();
-                            let cf = this.chunk_and_hash(files[i].app_type(), &data);
-                            if res_tx.send((i, cf)).is_err() {
-                                return;
-                            }
-                        }
-                    });
+            self.run_session_serial(files, report, clock)
+        }
+    }
+
+    /// The serial path: one thread does everything, in file order.
+    fn run_session_serial(
+        &mut self,
+        files: &[&dyn SourceFile],
+        report: &mut SessionReport,
+        clock: &mut DedupClock,
+    ) -> Manifest {
+        let mut manifest = Manifest::new(self.sessions as u64);
+        let cfg = &self.config;
+        let index = &self.index;
+        let containers = &mut self.containers;
+        let tiny_seen = &mut self.tiny_seen;
+        let container_live = &mut self.container_live;
+        for file in files {
+            let out = if file.size() < cfg.tiny_threshold {
+                pack_tiny(tiny_seen, *file, &mut |fp, bytes| {
+                    containers.add_chunk(TINY_STREAM, fp, &bytes)
+                })
+            } else {
+                let app = file.app_type();
+                let data = file.read();
+                let chunked = chunk_and_hash(&cfg.policy, cfg.sc_chunk_size, cfg.cdc, app, &data);
+                dedupe_chunks(index, file.path(), app, chunked, &mut |fp, bytes| {
+                    containers.add_chunk(app.tag() as u32, fp, &bytes)
+                })
+            };
+            manifest.files.push(absorb(out, report, clock, container_live));
+        }
+        manifest
+    }
+
+    /// The parallel pipeline (see the module docs for the dataflow and
+    /// the determinism argument).
+    fn run_session_parallel(
+        &mut self,
+        files: &[&dyn SourceFile],
+        report: &mut SessionReport,
+        clock: &mut DedupClock,
+    ) -> Manifest {
+        let session = self.sessions as u64;
+        let cfg = &self.config;
+        let index = &self.index;
+        let tiny_seen = &mut self.tiny_seen;
+        let container_live = &mut self.container_live;
+        let workers = cfg.pipeline.workers.max(1);
+        let queue_depth = cfg.pipeline.queue_depth.max(1);
+        let tiny_threshold = cfg.tiny_threshold;
+
+        // Big-file indices grouped per application (file order preserved):
+        // each group is one shard thread's work list.
+        let mut by_app: Vec<Vec<usize>> = AppType::ALL.iter().map(|_| Vec::new()).collect();
+        for (i, f) in files.iter().enumerate() {
+            if f.size() >= tiny_threshold {
+                by_app[(f.app_type().tag() - 1) as usize].push(i);
+            }
+        }
+        let big_order: Vec<usize> =
+            (0..files.len()).filter(|&i| files[i].size() >= tiny_threshold).collect();
+        let n_big = big_order.len();
+
+        // The appender thread owns the store for the session's duration.
+        let store =
+            std::mem::replace(&mut self.containers, ContainerStore::new(cfg.container_size));
+
+        let (job_tx, job_rx) = mpsc::sync_channel::<usize>(workers * queue_depth);
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let (append_tx, append_rx) = mpsc::channel::<AppendReq>();
+        let (out_tx, out_rx) = mpsc::channel::<(usize, DedupedFile)>();
+
+        // One bounded channel per application shard with work.
+        let mut shard_txs: Vec<Option<mpsc::SyncSender<(usize, ChunkedFile)>>> =
+            (0..AppType::ALL.len()).map(|_| None).collect();
+        let mut shard_rxs: Vec<Option<mpsc::Receiver<(usize, ChunkedFile)>>> =
+            (0..AppType::ALL.len()).map(|_| None).collect();
+        for (tag_idx, group) in by_app.iter().enumerate() {
+            if !group.is_empty() {
+                let (tx, rx) = mpsc::sync_channel(queue_depth);
+                shard_txs[tag_idx] = Some(tx);
+                shard_rxs[tag_idx] = Some(rx);
+            }
+        }
+
+        let (mut tiny_out, mut big_out, store) = std::thread::scope(|scope| {
+            // Single-writer appender: the only thread touching the store.
+            let appender = scope.spawn(move || {
+                let mut store = store;
+                while let Ok(req) = append_rx.recv() {
+                    let placement = store.add_chunk(req.stream, req.fp, &req.bytes);
+                    let _ = req.reply.send(placement);
                 }
-                drop(res_tx);
-                let feeder = scope.spawn(move || {
-                    for &i in &big {
-                        if job_tx.send(i).is_err() {
-                            return;
+                store
+            });
+
+            // Dedup shards: one per application with work; each processes
+            // its own files in file order via a reorder buffer.
+            for (tag_idx, rx) in shard_rxs.into_iter().enumerate() {
+                let Some(rx) = rx else { continue };
+                let app = AppType::ALL[tag_idx];
+                let my_files = std::mem::take(&mut by_app[tag_idx]);
+                let append_tx = append_tx.clone();
+                let out_tx = out_tx.clone();
+                scope.spawn(move || {
+                    let (reply_tx, reply_rx) = mpsc::channel::<Placement>();
+                    let mut pending: BTreeMap<usize, ChunkedFile> = BTreeMap::new();
+                    let mut next = 0usize;
+                    while next < my_files.len() {
+                        let (i, cf) = rx.recv().expect("workers outlive shard backlog");
+                        pending.insert(i, cf);
+                        while next < my_files.len() {
+                            let want = my_files[next];
+                            let Some(cf) = pending.remove(&want) else { break };
+                            let out = dedupe_chunks(
+                                index,
+                                files[want].path(),
+                                app,
+                                cf,
+                                &mut |fp, bytes| {
+                                    append_tx
+                                        .send(AppendReq {
+                                            stream: app.tag() as u32,
+                                            fp,
+                                            bytes,
+                                            reply: reply_tx.clone(),
+                                        })
+                                        .expect("appender outlives shards");
+                                    reply_rx.recv().expect("appender replies")
+                                },
+                            );
+                            out_tx.send((want, out)).expect("main collects outcomes");
+                            next += 1;
                         }
                     }
                 });
-                for (i, cf) in res_rx.iter() {
-                    chunked.insert(i, cf);
-                }
-                feeder.join().expect("feeder panicked");
-            });
-        }
+            }
+            drop(out_tx); // shards hold the remaining clones
 
-        // Consume in file order (dedup outcome must not depend on worker
-        // scheduling).
+            // Chunk+hash workers: pull file indices, push chunked files to
+            // the owning shard.
+            for _ in 0..workers {
+                let job_rx = Arc::clone(&job_rx);
+                let shard_txs: Vec<Option<mpsc::SyncSender<(usize, ChunkedFile)>>> =
+                    shard_txs.clone();
+                scope.spawn(move || loop {
+                    let i = match job_rx.lock().expect("job queue lock").recv() {
+                        Ok(i) => i,
+                        Err(_) => return,
+                    };
+                    let file = files[i];
+                    let app = file.app_type();
+                    let data = file.read();
+                    let cf = chunk_and_hash(&cfg.policy, cfg.sc_chunk_size, cfg.cdc, app, &data);
+                    shard_txs[(app.tag() - 1) as usize]
+                        .as_ref()
+                        .expect("shard exists for routed app")
+                        .send((i, cf))
+                        .expect("shard outlives its backlog");
+                });
+            }
+            drop(shard_txs); // workers hold the remaining clones
+
+            // Feeder: bounded job queue, closed when exhausted.
+            scope.spawn(move || {
+                for i in big_order {
+                    if job_tx.send(i).is_err() {
+                        return;
+                    }
+                }
+            });
+
+            // Main thread: tiny files in file order, through the appender.
+            let mut tiny_out: BTreeMap<usize, DedupedFile> = BTreeMap::new();
+            {
+                let (reply_tx, reply_rx) = mpsc::channel::<Placement>();
+                for (i, file) in files.iter().enumerate() {
+                    if file.size() < tiny_threshold {
+                        let out = pack_tiny(tiny_seen, *file, &mut |fp, bytes| {
+                            append_tx
+                                .send(AppendReq {
+                                    stream: TINY_STREAM,
+                                    fp,
+                                    bytes,
+                                    reply: reply_tx.clone(),
+                                })
+                                .expect("appender outlives tiny packing");
+                            reply_rx.recv().expect("appender replies")
+                        });
+                        tiny_out.insert(i, out);
+                    }
+                }
+            }
+            drop(append_tx); // appender exits once shards finish too
+
+            // Collect shard outcomes; the channel closes when every shard
+            // has drained its work list.
+            let mut big_out: BTreeMap<usize, DedupedFile> = BTreeMap::new();
+            for (i, out) in out_rx.iter() {
+                big_out.insert(i, out);
+            }
+            debug_assert_eq!(big_out.len(), n_big);
+
+            let store = appender.join().expect("appender thread panicked");
+            (tiny_out, big_out, store)
+        });
+        self.containers = store;
+
+        // Merge in file order — identical to the serial loop.
+        let mut manifest = Manifest::new(session);
         for (i, file) in files.iter().enumerate() {
-            report.files_total += 1;
-            report.logical_bytes += file.size();
-            let recipe = if file.size() < tiny_threshold {
-                self.pack_tiny(*file, clock, report)
+            let out = if file.size() < tiny_threshold {
+                tiny_out.remove(&i)
             } else {
-                let cf = chunked.remove(&i).expect("chunked above");
-                self.dedupe_file(*file, cf, clock, report)
-            };
-            manifest.files.push(recipe);
+                big_out.remove(&i)
+            }
+            .expect("every file produced an outcome");
+            manifest.files.push(absorb(out, report, clock, container_live));
         }
         manifest
     }
@@ -479,9 +766,13 @@ impl BackupScheme for AaDedupe {
         // Every byte of the dataset is read once from the source disk.
         clock.charge_source_read(report.logical_bytes);
 
-        // Ship containers.
+        // Ship containers in id order, so the upload sequence does not
+        // depend on stream sealing order (HashMap iteration, pipeline
+        // interleaving).
         self.containers.seal_all();
-        for sealed in self.containers.drain_sealed() {
+        let mut sealed = self.containers.drain_sealed();
+        sealed.sort_by_key(|s| s.id);
+        for sealed in sealed {
             let key = container_key(&self.config.scheme_key, sealed.id);
             report.transferred_bytes += sealed.bytes.len() as u64;
             self.cloud.put(&key, sealed.bytes);
@@ -492,7 +783,7 @@ impl BackupScheme for AaDedupe {
         self.cloud.put(&Manifest::key(&self.config.scheme_key, manifest.session), mbytes);
         // Periodic index synchronisation.
         if self.config.index_sync_interval > 0
-            && (self.sessions + 1) % self.config.index_sync_interval == 0
+            && (self.sessions + 1).is_multiple_of(self.config.index_sync_interval)
         {
             let snap = codec::encode_app_aware(&self.index);
             report.transferred_bytes += snap.len() as u64;
@@ -585,7 +876,7 @@ mod tests {
         // A compressed file large enough that SC would make many chunks,
         // but WFC must make exactly one.
         let media = mem("user/avi/m.avi", vec![9u8; 200_000]);
-        let report = e.backup_session(&sources(&[media.clone()])).unwrap();
+        let report = e.backup_session(&sources(std::slice::from_ref(&media))).unwrap();
         assert_eq!(report.chunks_total, 1, "WFC yields one chunk per file");
         // A static file gets 8 KiB fixed chunks.
         let mut e2 = engine();
@@ -654,8 +945,10 @@ mod tests {
             })
             .collect();
         let mut serial = engine();
-        let mut cfg = AaDedupeConfig::default();
-        cfg.chunk_workers = 4;
+        let cfg = AaDedupeConfig {
+            pipeline: PipelineConfig::with_workers(4),
+            ..AaDedupeConfig::default()
+        };
         let mut parallel = AaDedupe::with_config(CloudSim::with_paper_defaults(), cfg);
 
         let rs = serial.backup_session(&sources(&files)).unwrap();
@@ -667,6 +960,28 @@ mod tests {
         let a = serial.restore_session(0).unwrap();
         let b = parallel.restore_session(0).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn forced_parallel_mode_single_worker_matches_serial() {
+        // PipelineMode::Parallel exercises the full pipeline machinery
+        // even with one worker; output must be identical to serial.
+        let files = vec![
+            mem("user/doc/a.doc", b"mixed workload ".repeat(3000)),
+            mem("user/tiny/t.txt", b"wee".to_vec()),
+            mem("user/pdf/b.pdf", vec![5u8; 40_000]),
+        ];
+        let mut serial = engine();
+        let cfg = AaDedupeConfig {
+            pipeline: PipelineConfig { workers: 1, queue_depth: 1, mode: PipelineMode::Parallel },
+            ..AaDedupeConfig::default()
+        };
+        let mut forced = AaDedupe::with_config(CloudSim::with_paper_defaults(), cfg);
+        let rs = serial.backup_session(&sources(&files)).unwrap();
+        let rp = forced.backup_session(&sources(&files)).unwrap();
+        assert_eq!(rs.stored_bytes, rp.stored_bytes);
+        assert_eq!(rs.put_requests, rp.put_requests);
+        assert_eq!(serial.restore_session(0).unwrap(), forced.restore_session(0).unwrap());
     }
 
     #[test]
@@ -691,8 +1006,8 @@ mod tests {
     fn delete_preserves_shared_chunks() {
         let mut e = engine();
         let shared = mem("user/doc/s.doc", b"shared bytes ".repeat(4000));
-        e.backup_session(&sources(&[shared.clone()])).unwrap();
-        e.backup_session(&sources(&[shared.clone()])).unwrap();
+        e.backup_session(&sources(std::slice::from_ref(&shared))).unwrap();
+        e.backup_session(&sources(std::slice::from_ref(&shared))).unwrap();
         e.delete_session(0).unwrap();
         // Session 1 references the same chunks; they must survive.
         let restored = e.restore_session(1).unwrap();

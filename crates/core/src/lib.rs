@@ -27,7 +27,7 @@ pub mod restore;
 pub mod scheme;
 pub mod timing;
 
-pub use engine::{AaDedupe, AaDedupeConfig};
+pub use engine::{AaDedupe, AaDedupeConfig, PipelineConfig, PipelineMode};
 pub use recipe::{ChunkRef, FileRecipe, Manifest};
 pub use restore::{restore_session, RestoredFile};
 pub use scheme::{BackupError, BackupScheme};

@@ -4,7 +4,7 @@ use proptest::prelude::*;
 
 use aadedupe_cloud::CloudSim;
 use aadedupe_core::recipe::{ChunkRef, FileRecipe, Manifest};
-use aadedupe_core::{AaDedupe, AaDedupeConfig, BackupScheme};
+use aadedupe_core::{AaDedupe, AaDedupeConfig, BackupScheme, PipelineConfig};
 use aadedupe_filetype::{AppType, MemoryFile, SourceFile};
 use aadedupe_hashing::{Fingerprint, HashAlgorithm};
 
@@ -66,7 +66,10 @@ proptest! {
         files.sort_by(|a, b| a.path.cmp(&b.path));
         files.dedup_by(|a, b| a.path == b.path);
 
-        let config = AaDedupeConfig { chunk_workers: workers, ..AaDedupeConfig::default() };
+        let config = AaDedupeConfig {
+            pipeline: PipelineConfig::with_workers(workers),
+            ..AaDedupeConfig::default()
+        };
         let mut engine = AaDedupe::with_config(CloudSim::with_paper_defaults(), config);
         let sources: Vec<&dyn SourceFile> = files.iter().map(|f| f as &dyn SourceFile).collect();
         let report = engine.backup_session(&sources).expect("backup");

@@ -62,8 +62,31 @@ impl AppAwareIndex {
     }
 
     /// Insert into one application's partition.
+    ///
+    /// Thread-safety: every partition method takes `&self` and locks only
+    /// that partition's mutex, so concurrent inserts/lookups against
+    /// *different* applications never contend, and concurrent access to
+    /// the *same* partition is serialized but safe. The parallel backup
+    /// pipeline exploits this by giving each application's dedup shard
+    /// exclusive use of its own partition: within a shard the
+    /// lookup→insert sequence needs no extra synchronisation because no
+    /// other thread touches that partition.
     pub fn insert(&self, app: AppType, fp: Fingerprint, entry: ChunkEntry) -> bool {
         self.partition(app).insert(fp, entry)
+    }
+
+    /// Inserts a batch of entries, returning how many were new. Entries
+    /// are applied in order; a repeated fingerprint within the batch keeps
+    /// its first entry (same outcome as repeated [`insert`](Self::insert)
+    /// calls). Safe to call concurrently with any other index operation.
+    pub fn insert_batch(
+        &self,
+        entries: &[(AppType, Fingerprint, ChunkEntry)],
+    ) -> usize {
+        entries
+            .iter()
+            .filter(|(app, fp, entry)| self.insert(*app, *fp, *entry))
+            .count()
     }
 
     /// Release from one application's partition.
@@ -232,6 +255,44 @@ mod tests {
             }
         }
         assert!(monolithic_small.stats().disk_reads > 0);
+    }
+
+    #[test]
+    fn insert_batch_counts_new_entries_only() {
+        let idx = AppAwareIndex::new(100);
+        idx.insert(AppType::Doc, fp(1), ChunkEntry::new(8, 0, 0));
+        let batch = [
+            (AppType::Doc, fp(1), ChunkEntry::new(8, 9, 9)), // already present
+            (AppType::Doc, fp(2), ChunkEntry::new(8, 1, 0)), // new
+            (AppType::Txt, fp(1), ChunkEntry::new(8, 2, 0)), // new (other partition)
+            (AppType::Txt, fp(1), ChunkEntry::new(8, 3, 0)), // repeat within batch
+        ];
+        assert_eq!(idx.insert_batch(&batch), 2);
+        assert_eq!(idx.len(), 3);
+        // First write wins on the in-batch repeat, as with serial inserts.
+        assert_eq!(idx.lookup(AppType::Txt, &fp(1)).unwrap().container, 2);
+        assert_eq!(idx.lookup(AppType::Doc, &fp(1)).unwrap().container, 0);
+    }
+
+    #[test]
+    fn concurrent_shard_access_is_safe() {
+        // One thread per partition, each doing the pipeline's
+        // lookup→insert sequence against its own partition only.
+        let idx = AppAwareIndex::new(1000);
+        std::thread::scope(|scope| {
+            for app in AppType::ALL {
+                let idx = &idx;
+                scope.spawn(move || {
+                    for i in 0..200u64 {
+                        let f = fp(i); // same fingerprints in every partition
+                        if idx.lookup(app, &f).is_none() {
+                            idx.insert(app, f, ChunkEntry::new(i, i, 0));
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(idx.len(), 200 * AppType::ALL.len());
     }
 
     #[test]

@@ -4,11 +4,10 @@
 //! bench harness turns vectors of these into the paper's Figures 7–11.
 
 use crate::{backup_window_secs, dedup_efficiency, dedup_ratio, EnergyModel};
-use serde::Serialize;
 use std::time::Duration;
 
 /// Measured outcome of one backup session under one scheme.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SessionReport {
     /// Scheme name ("AA-Dedupe", "Avamar", …).
     pub scheme: String,

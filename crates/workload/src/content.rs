@@ -69,7 +69,7 @@ impl BlockFile {
         let nblocks = len.div_ceil(BLOCK).max(1);
         let tail_len = if len == 0 {
             0
-        } else if len % BLOCK == 0 {
+        } else if len.is_multiple_of(BLOCK) {
             BLOCK
         } else {
             len % BLOCK
@@ -366,7 +366,7 @@ mod tests {
             .zip(after.chunks_exact(BLOCK))
             .filter(|(x, y)| x != y)
             .count();
-        assert!(changed >= 1 && changed <= 3, "changed {changed}");
+        assert!((1..=3).contains(&changed), "changed {changed}");
     }
 
     #[test]

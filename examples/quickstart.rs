@@ -17,7 +17,7 @@ fn main() {
     // A small mixed workload: the extension determines the application
     // type, which determines chunking (WFC/SC/CDC) and hashing
     // (Rabin/MD5/SHA-1).
-    let files = vec![
+    let files = [
         MemoryFile::new("user/docs/report.doc", b"quarterly report text ".repeat(4000)),
         MemoryFile::new("user/photos/trip.jpg", (0..150_000u32).map(|i| (i * 31 % 251) as u8).collect()),
         MemoryFile::new("user/vm/dev.vmdk", vec![0xA5; 400_000]),

@@ -1,0 +1,210 @@
+//! Differential test: the parallel pipeline must be observationally
+//! identical to the serial engine.
+//!
+//! For a fixed file ordering, `workers = k` must produce — bit for bit —
+//! the same cloud state as `workers = 1` on the serial path: the same
+//! restored files, the same `SessionReport` counters, the same cloud
+//! objects (containers, manifests, index snapshots) under the same keys,
+//! and the same per-partition index statistics. This is the determinism
+//! contract documented in `DESIGN.md`; any scheduling-dependent divergence
+//! in chunking, dedup decisions, container packing or upload order shows
+//! up here as a hard failure.
+//!
+//! Set `AA_DIFF_WORKERS=1,4` (comma-separated) to restrict the worker
+//! matrix — used by CI to split the sweep across jobs.
+
+use std::collections::{BTreeMap, HashMap};
+
+use aa_dedupe::cloud::CloudSim;
+use aa_dedupe::core::{AaDedupe, AaDedupeConfig, BackupScheme, PipelineConfig, PipelineMode};
+use aa_dedupe::filetype::{MemoryFile, SourceFile};
+use aa_dedupe::index::IndexStats;
+use aa_dedupe::metrics::SessionReport;
+use aa_dedupe::workload::{DatasetSpec, Generator, Snapshot};
+
+const SEEDS: [u64; 3] = [11, 42, 1337];
+const SESSIONS: usize = 2;
+
+fn worker_matrix() -> Vec<usize> {
+    match std::env::var("AA_DIFF_WORKERS") {
+        Ok(s) => s
+            .split(',')
+            .map(|w| w.trim().parse().expect("AA_DIFF_WORKERS entries must be integers"))
+            .collect(),
+        Err(_) => vec![1, 2, 4, 8],
+    }
+}
+
+/// Everything observable about an engine after a run, in comparable form.
+struct Observation {
+    reports: Vec<SessionReport>,
+    /// Restored (path, bytes) per session, in restore order.
+    restores: Vec<Vec<(String, Vec<u8>)>>,
+    /// Full cloud object namespace: key → bytes.
+    objects: BTreeMap<String, Vec<u8>>,
+    /// Per-partition index statistics, keyed by app tag.
+    partition_stats: BTreeMap<u8, IndexStats>,
+}
+
+fn observe(engine: &AaDedupe, reports: Vec<SessionReport>, sessions: usize) -> Observation {
+    let restores = (0..sessions)
+        .map(|s| {
+            engine
+                .restore_session(s)
+                .unwrap_or_else(|e| panic!("restore of session {s} failed: {e}"))
+                .into_iter()
+                .map(|f| (f.path, f.data))
+                .collect()
+        })
+        .collect();
+    let store = engine.cloud().store();
+    let objects = store
+        .list("")
+        .into_iter()
+        .map(|key| {
+            let bytes = store.get(&key).unwrap_or_else(|| panic!("listed key {key} missing"));
+            (key, bytes)
+        })
+        .collect();
+    let partition_stats =
+        engine.index().partitions().map(|(app, p)| (app.tag(), p.stats())).collect();
+    Observation { reports, restores, objects, partition_stats }
+}
+
+fn run_sessions(config: AaDedupeConfig, sessions: &[Vec<&dyn SourceFile>]) -> Observation {
+    let mut engine = AaDedupe::with_config(CloudSim::with_paper_defaults(), config);
+    let reports = sessions
+        .iter()
+        .map(|sources| engine.backup_session(sources).expect("backup"))
+        .collect();
+    observe(&engine, reports, sessions.len())
+}
+
+fn serial_config() -> AaDedupeConfig {
+    AaDedupeConfig {
+        pipeline: PipelineConfig { workers: 1, queue_depth: 4, mode: PipelineMode::Serial },
+        ..AaDedupeConfig::default()
+    }
+}
+
+fn parallel_config(workers: usize) -> AaDedupeConfig {
+    AaDedupeConfig {
+        // Force the pipeline even at workers = 1 so the machinery itself
+        // is differentially tested, not just the Auto-mode dispatch.
+        pipeline: PipelineConfig { workers, queue_depth: 4, mode: PipelineMode::Parallel },
+        ..AaDedupeConfig::default()
+    }
+}
+
+/// Asserts every deterministic observable matches between two runs.
+/// `dedup_cpu` and `transfer_time` are wall-clock measurements and are
+/// deliberately excluded; everything else must be bit-identical.
+fn assert_equivalent(serial: &Observation, parallel: &Observation, label: &str) {
+    assert_eq!(serial.reports.len(), parallel.reports.len(), "{label}: session count");
+    for (s, p) in serial.reports.iter().zip(&parallel.reports) {
+        let session = s.session;
+        assert_eq!(s.logical_bytes, p.logical_bytes, "{label} s{session}: logical_bytes");
+        assert_eq!(s.stored_bytes, p.stored_bytes, "{label} s{session}: stored_bytes");
+        assert_eq!(
+            s.transferred_bytes, p.transferred_bytes,
+            "{label} s{session}: transferred_bytes"
+        );
+        assert_eq!(s.put_requests, p.put_requests, "{label} s{session}: put_requests");
+        assert_eq!(s.chunks_total, p.chunks_total, "{label} s{session}: chunks_total");
+        assert_eq!(
+            s.chunks_duplicate, p.chunks_duplicate,
+            "{label} s{session}: chunks_duplicate"
+        );
+        assert_eq!(s.files_total, p.files_total, "{label} s{session}: files_total");
+        assert_eq!(s.files_tiny, p.files_tiny, "{label} s{session}: files_tiny");
+        assert_eq!(
+            s.index_disk_reads, p.index_disk_reads,
+            "{label} s{session}: index_disk_reads"
+        );
+    }
+    for (session, (s, p)) in serial.restores.iter().zip(&parallel.restores).enumerate() {
+        assert_eq!(s.len(), p.len(), "{label} s{session}: restored file count");
+        for ((sp, sd), (pp, pd)) in s.iter().zip(p) {
+            assert_eq!(sp, pp, "{label} s{session}: restore order/path");
+            assert_eq!(sd, pd, "{label} s{session}: bytes of {sp}");
+        }
+    }
+    let serial_keys: Vec<&String> = serial.objects.keys().collect();
+    let parallel_keys: Vec<&String> = parallel.objects.keys().collect();
+    assert_eq!(serial_keys, parallel_keys, "{label}: cloud key set");
+    for (key, bytes) in &serial.objects {
+        assert_eq!(bytes, &parallel.objects[key], "{label}: cloud object {key}");
+    }
+    assert_eq!(
+        serial.partition_stats, parallel.partition_stats,
+        "{label}: per-partition index stats"
+    );
+}
+
+#[test]
+fn parallel_matches_serial_across_seeds_and_workers() {
+    for seed in SEEDS {
+        let mut generator = Generator::new(DatasetSpec::tiny_test(), seed);
+        let snaps: Vec<Snapshot> = (0..SESSIONS).map(|w| generator.snapshot(w)).collect();
+        let sessions: Vec<Vec<&dyn SourceFile>> =
+            snaps.iter().map(|s| s.as_sources()).collect();
+        let serial = run_sessions(serial_config(), &sessions);
+        for workers in worker_matrix() {
+            let parallel = run_sessions(parallel_config(workers), &sessions);
+            assert_equivalent(&serial, &parallel, &format!("seed={seed} workers={workers}"));
+        }
+    }
+}
+
+#[test]
+fn parallel_matches_serial_on_tiny_file_heavy_set() {
+    // The size filter bypasses dedup for files < 10 KiB; those are packed
+    // on the main thread in the parallel pipeline, so the tiny path needs
+    // its own differential coverage: all-tiny, boundary sizes, and a mix
+    // where tiny and big files interleave in the input ordering.
+    let sizes: [usize; 9] = [0, 1, 512, 4 * 1024, 10 * 1024 - 1, 10 * 1024, 20 * 1024, 37, 9999];
+    let exts = ["txt", "doc", "pdf", "mp3", "c", "html", "jpg", "avi", "zip"];
+    let files: Vec<MemoryFile> = sizes
+        .iter()
+        .zip(exts)
+        .enumerate()
+        .map(|(i, (&len, ext))| {
+            let data: Vec<u8> = (0..len).map(|j| ((i * 131 + j * 7) % 251) as u8).collect();
+            MemoryFile::new(format!("tiny/f{i}.{ext}"), data)
+        })
+        .collect();
+    let sources: Vec<&dyn SourceFile> = files.iter().map(|f| f as &dyn SourceFile).collect();
+    // Two identical sessions: the second exercises the change-token
+    // carry-forward for tiny files and full-duplicate paths for big ones.
+    let sessions = vec![sources.clone(), sources];
+    let serial = run_sessions(serial_config(), &sessions);
+    for workers in worker_matrix() {
+        let parallel = run_sessions(parallel_config(workers), &sessions);
+        assert_equivalent(&serial, &parallel, &format!("tiny-set workers={workers}"));
+    }
+}
+
+#[test]
+fn restores_are_bit_exact_against_source_data() {
+    // The matrix test proves parallel ≡ serial; this anchors both to the
+    // ground truth so an identical-but-wrong pair cannot slip through.
+    let mut generator = Generator::new(DatasetSpec::tiny_test(), SEEDS[0]);
+    let snap = generator.snapshot(0);
+    for workers in worker_matrix() {
+        let mut engine =
+            AaDedupe::with_config(CloudSim::with_paper_defaults(), parallel_config(workers));
+        engine.backup_session(&snap.as_sources()).expect("backup");
+        let restored = engine.restore_session(0).expect("restore");
+        let by_path: HashMap<&str, &[u8]> =
+            restored.iter().map(|f| (f.path.as_str(), f.data.as_slice())).collect();
+        assert_eq!(restored.len(), snap.file_count(), "workers={workers}");
+        for f in &snap.files {
+            assert_eq!(
+                by_path[f.path.as_str()],
+                f.materialize().as_slice(),
+                "workers={workers}: {}",
+                f.path
+            );
+        }
+    }
+}

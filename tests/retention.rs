@@ -30,9 +30,8 @@ fn rolling_retention_window_preserves_live_sessions() {
     }
     // ...and the retained ones restore bit-exactly despite sharing chunks
     // with deleted sessions.
-    for week in WEEKS - KEEP..WEEKS {
+    for (week, snap) in snapshots.iter().enumerate().skip(WEEKS - KEEP) {
         let restored = engine.restore_session(week).expect("retained restore");
-        let snap = &snapshots[week];
         assert_eq!(restored.len(), snap.file_count(), "week {week}");
         let by_path: std::collections::HashMap<_, _> =
             restored.iter().map(|f| (f.path.as_str(), &f.data)).collect();

@@ -1,0 +1,36 @@
+//! Offline shim for the `bytes` crate.
+//!
+//! Provides the minimal [`BufMut`] surface the workspace uses
+//! (`put_slice`, `put_u8` over `Vec<u8>`); the build environment cannot
+//! fetch the real crate.
+
+/// Minimal write-side buffer trait, matching the subset of
+/// `bytes::BufMut` the workspace calls.
+pub trait BufMut {
+    /// Appends `src` to the buffer.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, b: u8) {
+        self.put_slice(&[b]);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_slice_appends() {
+        let mut v: Vec<u8> = vec![1];
+        v.put_slice(&[2, 3]);
+        v.put_u8(4);
+        assert_eq!(v, vec![1, 2, 3, 4]);
+    }
+}

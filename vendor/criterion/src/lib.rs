@@ -1,0 +1,196 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The workspace's air-gapped build environment cannot fetch crates.io
+//! dependencies, so this crate provides the small slice of criterion's
+//! API that `crates/bench/benches/*` uses: [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`] / [`bench_with_input`](BenchmarkGroup::bench_with_input),
+//! [`Throughput`], [`BenchmarkId`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. It runs each benchmark with a short
+//! calibrated measurement loop and prints mean wall time (plus
+//! throughput when declared) — no statistics, plots, or CLI parsing.
+
+use std::time::{Duration, Instant};
+
+/// Target wall time spent measuring each benchmark.
+const MEASURE_TARGET: Duration = Duration::from_millis(200);
+/// Target wall time spent warming up each benchmark.
+const WARMUP_TARGET: Duration = Duration::from_millis(50);
+
+/// Benchmark driver; one per `criterion_group!` function.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _c: self, name: name.into(), throughput: None }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_benchmark(name, None, f);
+        self
+    }
+}
+
+/// Declared per-iteration workload, used to report throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier for a parameterised benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Identifier that is just the parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration workload for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs a benchmark identified by a plain name.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_benchmark(&format!("{}/{}", self.name, name), self.throughput, f);
+        self
+    }
+
+    /// Runs a benchmark identified by a [`BenchmarkId`], passing `input`
+    /// to the closure.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_benchmark(&format!("{}/{}", self.name, id.id), self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; exists for API parity).
+    pub fn finish(self) {}
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` for the calibrated number of iterations.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark(label: &str, throughput: Option<Throughput>, mut f: impl FnMut(&mut Bencher)) {
+    // Calibrate: grow the iteration count until one batch covers the
+    // warmup target, so per-iteration overhead is amortised.
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        if b.elapsed >= WARMUP_TARGET || iters >= 1 << 30 {
+            let per_iter = b.elapsed.max(Duration::from_nanos(1)) / iters as u32;
+            iters = (MEASURE_TARGET.as_nanos() / per_iter.as_nanos().max(1)).max(1) as u64;
+            break;
+        }
+        iters = iters.saturating_mul(4);
+    }
+    let mut b = Bencher { iters, elapsed: Duration::ZERO };
+    f(&mut b);
+    let per_iter_ns = b.elapsed.as_nanos() as f64 / b.iters.max(1) as f64;
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(n) => {
+            format!(" {:>10.1} MiB/s", n as f64 / (1 << 20) as f64 / (per_iter_ns / 1e9))
+        }
+        Throughput::Elements(n) => {
+            format!(" {:>10.1} Melem/s", n as f64 / 1e6 / (per_iter_ns / 1e9))
+        }
+    });
+    println!(
+        "bench {label:<48} {:>12.1} ns/iter{}",
+        per_iter_ns,
+        rate.unwrap_or_default()
+    );
+}
+
+/// Declares a benchmark group function that runs each listed benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.throughput(Throughput::Bytes(64));
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| std::hint::black_box(1u64 + 1));
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("inputs");
+        let data = vec![3u8; 16];
+        group.bench_with_input(BenchmarkId::new("sum", data.len()), &data, |b, d| {
+            b.iter(|| d.iter().map(|&x| x as u64).sum::<u64>())
+        });
+        group.finish();
+    }
+}

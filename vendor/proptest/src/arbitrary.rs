@@ -1,0 +1,48 @@
+//! `any::<T>()` — the canonical strategy for a type.
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+use std::marker::PhantomData;
+
+/// Types with a canonical whole-domain generator.
+pub trait Arbitrary {
+    /// Produces an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy produced by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+/// The canonical strategy for `T` (uniform over the whole domain).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_covers_small_domain() {
+        let mut rng = TestRng::seeded(9);
+        let s = any::<bool>();
+        let mut t = false;
+        let mut f = false;
+        for _ in 0..64 {
+            if s.generate(&mut rng) {
+                t = true;
+            } else {
+                f = true;
+            }
+        }
+        assert!(t && f);
+    }
+}

@@ -1,0 +1,80 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+use std::ops::{Range, RangeInclusive};
+
+/// Accepted size specifications for [`vec`].
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi_inclusive: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange { lo: r.start, hi_inclusive: r.end - 1 }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange { lo: *r.start(), hi_inclusive: *r.end() }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi_inclusive: n }
+    }
+}
+
+/// Strategy producing `Vec`s of values drawn from an element strategy.
+pub struct VecStrategy<S> {
+    elem: S,
+    size: SizeRange,
+}
+
+/// A `Vec` whose length is drawn from `size` and whose elements are drawn
+/// from `elem`.
+pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { elem, size: size.into() }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len =
+            rng.range_inclusive_u64(self.size.lo as u64, self.size.hi_inclusive as u64) as usize;
+        (0..len).map(|_| self.elem.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+
+    #[test]
+    fn vec_respects_size_range() {
+        let mut rng = TestRng::seeded(11);
+        let s = vec(any::<u8>(), 2..5);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn nested_vecs() {
+        let mut rng = TestRng::seeded(12);
+        let s = vec(vec(any::<u8>(), 0..3), 1..4);
+        let v = s.generate(&mut rng);
+        assert!(!v.is_empty() && v.len() < 4);
+        for inner in v {
+            assert!(inner.len() < 3);
+        }
+    }
+}

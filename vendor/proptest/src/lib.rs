@@ -1,0 +1,168 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! The build environment has no network access, so the real proptest
+//! cannot be fetched. This shim keeps the workspace's property tests
+//! compiling and running unchanged by reimplementing the API surface they
+//! use: the [`proptest!`] macro, `prop_assert*` macros, [`prop_oneof!`],
+//! `any::<T>()`, integer-range and string-pattern strategies, tuple
+//! strategies, `prop_map`, `Just`, and `proptest::collection::vec`.
+//!
+//! Semantics: each test runs `Config::cases` deterministic cases seeded
+//! from the test's name, so failures reproduce exactly across runs. There
+//! is no shrinking — a failing case reports the assertion as-is; the
+//! deterministic seed makes it replayable under a debugger.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod rng;
+pub mod strategy;
+pub mod test_runner;
+
+/// Common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{Config, ProptestConfig};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Declares property tests. Mirrors proptest's macro of the same name:
+/// an optional `#![proptest_config(..)]` inner attribute, then test
+/// functions whose arguments are drawn from strategies via `pat in expr`.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_cases!{ ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_cases!{ ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$attr:meta])*
+      fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let __cfg: $crate::test_runner::Config = $cfg;
+            let mut __rng = $crate::rng::TestRng::from_name(stringify!($name));
+            for __case in 0..__cfg.cases {
+                let _ = __case;
+                $( let $arg = $crate::strategy::Strategy::generate(&$strat, &mut __rng); )+
+                $body
+            }
+        }
+        $crate::__proptest_cases!{ ($cfg) $($rest)* }
+    };
+}
+
+/// Skips the current case when its precondition fails. Real proptest
+/// rejects the input and redraws; with deterministic per-case draws the
+/// shim just moves on to the next case (`$body` runs inside the case
+/// loop, so `continue` targets it).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// `assert!` under proptest's spelling.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// `assert_eq!` under proptest's spelling.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// `assert_ne!` under proptest's spelling.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Uniform choice among heterogeneous strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $($s:expr),+ $(,)? ) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($s) ),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Op {
+        Put(String, Vec<u8>),
+        Get(u8),
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3u32..17, y in 0usize..=4, b in any::<bool>()) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y <= 4);
+            let _ = b;
+        }
+
+        #[test]
+        fn string_patterns_match_shape(s in "[a-c]/[a-z]{1,4}") {
+            let (dir, name) = s.split_once('/').expect("one slash");
+            prop_assert_eq!(dir.len(), 1);
+            prop_assert!(("a"..="c").contains(&dir));
+            prop_assert!(!name.is_empty() && name.len() <= 4);
+            prop_assert!(name.bytes().all(|b| b.is_ascii_lowercase()));
+        }
+
+        #[test]
+        fn vec_and_tuple_and_map(
+            items in crate::collection::vec((any::<u8>(), 1usize..5), 0..10),
+            tagged in prop_oneof![
+                ("[a-z]{1,3}", crate::collection::vec(any::<u8>(), 0..6))
+                    .prop_map(|(k, v)| Op::Put(k, v)),
+                any::<u8>().prop_map(Op::Get),
+            ],
+        ) {
+            prop_assert!(items.len() < 10);
+            for (_, n) in &items {
+                prop_assert!((1..5).contains(n));
+            }
+            match tagged {
+                Op::Put(k, v) => {
+                    prop_assert!(!k.is_empty() && v.len() < 6);
+                }
+                Op::Get(_) => {}
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::rng::TestRng::from_name("fixed");
+        let mut b = crate::rng::TestRng::from_name("fixed");
+        let s = crate::collection::vec(any::<u64>(), 0..20);
+        for _ in 0..50 {
+            assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        }
+    }
+}

@@ -1,0 +1,343 @@
+//! Value-generation strategies.
+//!
+//! A [`Strategy`] deterministically produces values from a [`TestRng`].
+//! Implementations cover everything the workspace's tests use: integer
+//! ranges, string patterns (a regex subset), tuples, [`Just`], unions
+//! ([`prop_oneof!`](crate::prop_oneof)), and [`prop_map`](Strategy::prop_map).
+
+use crate::rng::TestRng;
+use std::ops::{Range, RangeFrom, RangeInclusive};
+
+/// Generates values of `Self::Value`.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Produces one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erases the strategy type (used by [`prop_oneof!`](crate::prop_oneof)).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always produces a clone of the same value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice among boxed strategies with a common value type.
+pub struct Union<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// Union over `arms`; at least one arm is required.
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! requires at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.index(self.arms.len());
+        self.arms[i].generate(rng)
+    }
+}
+
+macro_rules! int_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                // Map through u64 space; ranges in tests are non-negative.
+                rng.range_u64(self.start as u64, self.end as u64) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.range_inclusive_u64(*self.start() as u64, *self.end() as u64) as $t
+            }
+        }
+
+        impl Strategy for RangeFrom<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.range_inclusive_u64(self.start as u64, <$t>::MAX as u64) as $t
+            }
+        }
+
+        impl crate::arbitrary::Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! float_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                // 53 uniform mantissa bits in [0, 1).
+                let frac = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                (self.start as f64 + frac * (self.end as f64 - self.start as f64)) as $t
+            }
+        }
+    )*};
+}
+
+float_strategy!(f32, f64);
+
+impl crate::arbitrary::Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl crate::arbitrary::Arbitrary for i32 {
+    fn arbitrary(rng: &mut TestRng) -> i32 {
+        rng.next_u64() as i32
+    }
+}
+
+impl crate::arbitrary::Arbitrary for i64 {
+    fn arbitrary(rng: &mut TestRng) -> i64 {
+        rng.next_u64() as i64
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// String-pattern strategy: a `&'static str` acts as a regex-subset
+/// generator, exactly like proptest's string strategies. Supported
+/// syntax: literal characters, character classes `[a-zA-Z0-9/_.]`
+/// (ranges and literals; `-` last in the class is literal), and bounded
+/// repetition `{n}` / `{m,n}` applied to the preceding atom.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_pattern(self, rng)
+    }
+}
+
+fn generate_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        // Parse one atom: a class or a literal character.
+        let alphabet: Vec<char> = if chars[i] == '[' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == ']')
+                .unwrap_or_else(|| panic!("unterminated class in pattern {pattern:?}"))
+                + i;
+            let class = &chars[i + 1..close];
+            i = close + 1;
+            expand_class(class, pattern)
+        } else {
+            let c = chars[i];
+            i += 1;
+            vec![c]
+        };
+        // Optional {n} or {m,n} repetition.
+        let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unterminated repetition in pattern {pattern:?}"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse::<usize>().expect("repetition lower bound"),
+                    n.trim().parse::<usize>().expect("repetition upper bound"),
+                ),
+                None => {
+                    let n = body.trim().parse::<usize>().expect("repetition count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        let count = rng.range_inclusive_u64(lo as u64, hi as u64) as usize;
+        for _ in 0..count {
+            out.push(alphabet[rng.index(alphabet.len())]);
+        }
+    }
+    out
+}
+
+fn expand_class(class: &[char], pattern: &str) -> Vec<char> {
+    assert!(!class.is_empty(), "empty class in pattern {pattern:?}");
+    let mut set = Vec::new();
+    let mut j = 0;
+    while j < class.len() {
+        if j + 2 < class.len() && class[j + 1] == '-' {
+            let (a, b) = (class[j], class[j + 2]);
+            assert!(a <= b, "inverted range in pattern {pattern:?}");
+            for c in a..=b {
+                set.push(c);
+            }
+            j += 3;
+        } else {
+            set.push(class[j]);
+            j += 1;
+        }
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_and_tuples() {
+        let mut rng = TestRng::seeded(1);
+        let s = (0u8..4, 10usize..=12);
+        for _ in 0..100 {
+            let (a, b) = s.generate(&mut rng);
+            assert!(a < 4);
+            assert!((10..=12).contains(&b));
+        }
+    }
+
+    #[test]
+    fn pattern_class_expansion() {
+        let mut rng = TestRng::seeded(2);
+        for _ in 0..100 {
+            let s = "[a-zA-Z0-9/_.]{1,40}".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 40);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || "/_.".contains(c)));
+        }
+    }
+
+    #[test]
+    fn pattern_literals_and_exact_repetition() {
+        let mut rng = TestRng::seeded(3);
+        let s = "ab[01]{3}z".generate(&mut rng);
+        assert_eq!(s.len(), 6);
+        assert!(s.starts_with("ab") && s.ends_with('z'));
+        assert!(s[2..5].chars().all(|c| c == '0' || c == '1'));
+    }
+
+    #[test]
+    fn union_picks_every_arm_eventually() {
+        let mut rng = TestRng::seeded(4);
+        let u = Union::new(vec![Just(1u8).boxed(), Just(2u8).boxed()]);
+        let mut seen = [false; 3];
+        for _ in 0..64 {
+            seen[u.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2]);
+    }
+
+    #[test]
+    fn map_applies() {
+        let mut rng = TestRng::seeded(5);
+        let s = (1u8..5).prop_map(|x| x * 10);
+        for _ in 0..20 {
+            let v = s.generate(&mut rng);
+            assert!((10..50).contains(&v) && v.is_multiple_of(10));
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Test-runner configuration, mirroring `proptest::test_runner::Config`.
+
+/// How many cases each property test executes.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Config {
+    /// Config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        // The real proptest defaults to 256 cases with shrinking; this
+        // deterministic shim runs 64, which keeps the heavier workspace
+        // properties (hundreds of KiB of data per case) fast in CI while
+        // still sweeping a meaningful input space.
+        Config { cases: 64 }
+    }
+}
+
+/// proptest spells the config `ProptestConfig` in its prelude.
+pub type ProptestConfig = Config;
