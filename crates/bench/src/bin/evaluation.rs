@@ -13,7 +13,7 @@
 //! (`AA_EVAL_MB=256 AA_SESSIONS=10` for a bigger run; `AA_CSV=1` for raw rows.)
 
 use aadedupe_bench::{fmt_bytes, maybe_csv, print_table, run_evaluation, EvalConfig, SchemeRun};
-use aadedupe_metrics::{report::cumulative_stored, EnergyModel};
+use aadedupe_metrics::{report::cumulative_transferred, EnergyModel};
 
 /// The paper's upload bandwidth (NT), bytes/second.
 const NT: f64 = 500.0 * 1024.0;
@@ -48,7 +48,7 @@ fn main() {
     let runs = run_evaluation(cfg);
 
     // ---- Fig. 7: cumulative cloud storage -------------------------------
-    let cumulative: Vec<Vec<u64>> = runs.iter().map(|r| cumulative_stored(&r.reports)).collect();
+    let cumulative: Vec<Vec<u64>> = runs.iter().map(|r| cumulative_transferred(&r.reports)).collect();
     let (headers, rows) = per_session_table(&runs, cfg.sessions, |r, s| {
         let i = runs.iter().position(|x| std::ptr::eq(x, r)).unwrap();
         fmt_bytes(cumulative[i][s])

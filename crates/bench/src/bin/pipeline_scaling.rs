@@ -15,11 +15,13 @@
 //! * `AA_SCALE_REPS` — timed repetitions per configuration; the fastest
 //!   rep is reported (default 3).
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use aadedupe_cloud::CloudSim;
 use aadedupe_core::{AaDedupe, AaDedupeConfig, BackupScheme, PipelineConfig, PipelineMode};
 use aadedupe_filetype::{MemoryFile, SourceFile};
+use aadedupe_obs::{Queue, Recorder, Snapshot, Stage};
 use aadedupe_workload::Prng;
 
 fn env_or<T: std::str::FromStr>(key: &str, default: T) -> T {
@@ -69,6 +71,39 @@ fn time_backup(files: &[MemoryFile], pipeline: PipelineConfig) -> f64 {
     start.elapsed().as_secs_f64()
 }
 
+/// One extra run per configuration with the observability recorder on,
+/// kept apart from the timed reps so recording overhead never pollutes
+/// the throughput numbers. Returns the per-stage/queue/worker snapshot.
+fn profile_backup(files: &[MemoryFile], pipeline: PipelineConfig) -> Snapshot {
+    let recorder = Recorder::shared();
+    let config =
+        AaDedupeConfig { pipeline, recorder: Arc::clone(&recorder), ..AaDedupeConfig::default() };
+    let mut engine = AaDedupe::with_config(CloudSim::with_paper_defaults(), config);
+    let sources: Vec<&dyn SourceFile> = files.iter().map(|f| f as &dyn SourceFile).collect();
+    engine.backup_session(&sources).expect("backup");
+    recorder.snapshot()
+}
+
+/// The per-stage breakdown as a JSON fragment for one result object.
+fn stage_json(snap: &Snapshot) -> String {
+    let stages = Stage::ALL
+        .iter()
+        .map(|&s| format!("\"{}\": {}", s.name(), snap.stage_total(s).as_nanos()))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let queues = Queue::ALL
+        .iter()
+        .map(|&q| format!("\"{}\": {}", q.name(), snap.queue(q).hwm))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let busy: u64 = snap.workers.iter().map(|w| w.busy_ns).sum();
+    let idle: u64 = snap.workers.iter().map(|w| w.idle_ns).sum();
+    let util = if busy + idle == 0 { 1.0 } else { busy as f64 / (busy + idle) as f64 };
+    format!(
+        "\"stage_ns\": {{{stages}}}, \"queue_hwm\": {{{queues}}}, \"worker_utilization\": {util:.4}"
+    )
+}
+
 fn main() {
     let mb: usize = env_or("AA_SCALE_MB", 64);
     let reps: usize = env_or("AA_SCALE_REPS", 3);
@@ -86,7 +121,7 @@ fn main() {
         reps
     );
 
-    let mut results: Vec<(usize, f64)> = Vec::new();
+    let mut results: Vec<(usize, f64, Snapshot)> = Vec::new();
     for &w in &workers {
         let pipeline = if w == 1 {
             PipelineConfig { workers: 1, queue_depth: 4, mode: PipelineMode::Serial }
@@ -96,25 +131,27 @@ fn main() {
         let best = (0..reps.max(1))
             .map(|_| time_backup(&files, pipeline))
             .fold(f64::INFINITY, f64::min);
-        results.push((w, best));
+        let profile = profile_backup(&files, pipeline);
+        results.push((w, best, profile));
     }
 
     let baseline = results
         .iter()
-        .find(|(w, _)| *w == 1)
-        .map(|&(_, t)| t)
+        .find(|(w, _, _)| *w == 1)
+        .map(|(_, t, _)| *t)
         .unwrap_or(results[0].1);
     println!("{{");
     println!("  \"workload_mib\": {},", logical >> 20);
     println!("  \"files\": {},", files.len());
     println!("  \"reps\": {reps},");
     println!("  \"results\": [");
-    for (i, (w, t)) in results.iter().enumerate() {
+    for (i, (w, t, profile)) in results.iter().enumerate() {
         let comma = if i + 1 < results.len() { "," } else { "" };
         println!(
-            "    {{\"workers\": {w}, \"seconds\": {t:.4}, \"mib_per_s\": {:.2}, \"speedup\": {:.3}}}{comma}",
+            "    {{\"workers\": {w}, \"seconds\": {t:.4}, \"mib_per_s\": {:.2}, \"speedup\": {:.3}, {}}}{comma}",
             logical as f64 / (1 << 20) as f64 / t,
-            baseline / t
+            baseline / t,
+            stage_json(profile)
         );
     }
     println!("  ]");

@@ -29,7 +29,7 @@ pub mod wfc;
 pub use cdc::CdcChunker;
 pub use params::{CdcParams, DEFAULT_CDC, DEFAULT_SC_SIZE};
 pub use sc::ScChunker;
-pub use stream::{StreamChunker, StreamedChunk};
+pub use stream::{InstrumentedChunker, StreamChunker, StreamedChunk};
 pub use wfc::WfcChunker;
 
 use std::fmt;

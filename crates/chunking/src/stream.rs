@@ -120,6 +120,49 @@ impl<R: Read> StreamChunker<R> {
         self.base += len as u64;
         chunk
     }
+
+    /// Wraps the chunker so every produced chunk is timed into the
+    /// recorder's `chunk` stage and counted by chunking method. A disabled
+    /// recorder reduces each observation to one atomic load.
+    pub fn instrumented(self, recorder: std::sync::Arc<aadedupe_obs::Recorder>) -> InstrumentedChunker<R> {
+        InstrumentedChunker { inner: self, recorder }
+    }
+}
+
+/// A [`StreamChunker`] that reports per-chunk latency and chunk counts to
+/// an [`aadedupe_obs::Recorder`]. Produces exactly the chunks the inner
+/// chunker would — observation only.
+pub struct InstrumentedChunker<R: Read> {
+    inner: StreamChunker<R>,
+    recorder: std::sync::Arc<aadedupe_obs::Recorder>,
+}
+
+impl<R: Read> InstrumentedChunker<R> {
+    /// Takes the I/O error that terminated the stream, if any.
+    pub fn io_error(&mut self) -> Option<std::io::Error> {
+        self.inner.io_error()
+    }
+}
+
+impl<R: Read> Iterator for InstrumentedChunker<R> {
+    type Item = StreamedChunk;
+
+    fn next(&mut self) -> Option<StreamedChunk> {
+        use aadedupe_obs::{Counter, Stage};
+        let started = self.recorder.start();
+        let chunk = self.inner.next()?;
+        self.recorder.record(Stage::Chunk, started);
+        if started.is_some() {
+            let by_method = match chunk.method {
+                ChunkingMethod::Cdc => Counter::ChunksCdc,
+                ChunkingMethod::Sc => Counter::ChunksSc,
+                ChunkingMethod::Wfc => Counter::ChunksWfc,
+            };
+            self.recorder.count(by_method, 1);
+            self.recorder.count(Counter::ChunkBytes, chunk.data.len() as u64);
+        }
+        Some(chunk)
+    }
 }
 
 impl<R: Read> Iterator for StreamChunker<R> {

@@ -6,7 +6,8 @@
 //! restores any past session bit-exactly.
 //!
 //! ```text
-//! aabackup backup  --repo <dir> [--workers N] <source-dir>
+//! aabackup backup  --repo <dir> [--workers N] [--stats] [--stats-json <f>]
+//!                  [--trace <f>] <source-dir>
 //! aabackup restore --repo <dir> <session> <out>   restore a session
 //! aabackup restore-file --repo <dir> <session> <path> <out-file>
 //! aabackup sessions --repo <dir>                  list sessions
@@ -22,12 +23,13 @@ use std::sync::Arc;
 
 use aadedupe_cloud::{CloudSim, FsObjectStore, PriceModel, WanModel};
 use aadedupe_core::{AaDedupe, AaDedupeConfig, BackupScheme, PipelineConfig};
+use aadedupe_obs::Recorder;
 
 use source::walk_directory;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  aabackup backup  --repo <dir> [--workers N] <source-dir>\n  aabackup restore --repo <dir> <session> <out-dir>\n  aabackup restore-file --repo <dir> <session> <path> <out-file>\n  aabackup sessions --repo <dir>\n  aabackup delete  --repo <dir> <session>\n  aabackup stats   --repo <dir>"
+        "usage:\n  aabackup backup  --repo <dir> [--workers N] [--stats] [--stats-json <file>] [--trace <file>] <source-dir>\n  aabackup restore --repo <dir> <session> <out-dir>\n  aabackup restore-file --repo <dir> <session> <path> <out-file>\n  aabackup sessions --repo <dir>\n  aabackup delete  --repo <dir> <session>\n  aabackup stats   --repo <dir>"
     );
     ExitCode::from(2)
 }
@@ -60,7 +62,49 @@ fn take_workers(args: &mut Vec<String>) -> Result<Option<usize>, ()> {
     }
 }
 
-fn open_engine(repo: &Path, workers: usize) -> Result<AaDedupe, String> {
+/// Splits a boolean `flag` out of the argument list.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    }
+}
+
+/// Splits `<flag> <path>` out of the argument list. `Err` means the flag
+/// was present but its value was missing.
+fn take_path(args: &mut Vec<String>, flag: &str) -> Result<Option<PathBuf>, ()> {
+    let Some(i) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    if i + 1 >= args.len() {
+        return Err(());
+    }
+    let value = args.remove(i + 1);
+    args.remove(i);
+    Ok(Some(PathBuf::from(value)))
+}
+
+/// Observability outputs requested on the `backup` command line.
+struct ObsArgs {
+    stats: bool,
+    stats_json: Option<PathBuf>,
+    trace: Option<PathBuf>,
+}
+
+impl ObsArgs {
+    fn any(&self) -> bool {
+        self.stats || self.stats_json.is_some() || self.trace.is_some()
+    }
+}
+
+fn open_engine(
+    repo: &Path,
+    workers: usize,
+    recorder: Option<Arc<Recorder>>,
+) -> Result<AaDedupe, String> {
     let store =
         FsObjectStore::open(repo).map_err(|e| format!("cannot open repository {repo:?}: {e}"))?;
     // A local repository has no WAN: model an ideal fast link so timings
@@ -70,15 +114,27 @@ fn open_engine(repo: &Path, workers: usize) -> Result<AaDedupe, String> {
         WanModel::ideal(1e9, 1e9),
         PriceModel::s3_april_2011(),
     );
-    let config = AaDedupeConfig {
+    let mut config = AaDedupeConfig {
         pipeline: PipelineConfig::with_workers(workers),
         ..AaDedupeConfig::default()
     };
+    if let Some(rec) = recorder {
+        config.recorder = rec;
+    }
     AaDedupe::open(cloud, config).map_err(|e| format!("cannot resume repository state: {e}"))
 }
 
-fn cmd_backup(repo: &Path, src: &Path, workers: usize) -> Result<(), String> {
-    let mut engine = open_engine(repo, workers)?;
+fn cmd_backup(repo: &Path, src: &Path, workers: usize, obs: &ObsArgs) -> Result<(), String> {
+    let rec = if obs.any() {
+        let rec = Recorder::shared();
+        if obs.trace.is_some() {
+            rec.enable_tracing();
+        }
+        Some(rec)
+    } else {
+        None
+    };
+    let mut engine = open_engine(repo, workers, rec.clone())?;
     let files =
         walk_directory(src).map_err(|e| format!("cannot walk source {src:?}: {e}"))?;
     let sources: Vec<&dyn aadedupe_filetype::SourceFile> =
@@ -104,11 +160,30 @@ fn cmd_backup(repo: &Path, src: &Path, workers: usize) -> Result<(), String> {
         report.dedup_cpu.as_secs_f64(),
         human(report.de() as u64)
     );
+    if let Some(rec) = rec {
+        let snap = rec.snapshot();
+        if obs.stats {
+            print!("{}", snap.render_table());
+        }
+        if let Some(path) = &obs.stats_json {
+            std::fs::write(path, snap.to_json())
+                .map_err(|e| format!("write stats {path:?}: {e}"))?;
+            println!("  stage stats written to {}", path.display());
+        }
+        if let Some(path) = &obs.trace {
+            let mut out = std::io::BufWriter::new(
+                std::fs::File::create(path).map_err(|e| format!("create trace {path:?}: {e}"))?,
+            );
+            rec.write_trace_ndjson(&mut out)
+                .map_err(|e| format!("write trace {path:?}: {e}"))?;
+            println!("  chrome trace written to {}", path.display());
+        }
+    }
     Ok(())
 }
 
 fn cmd_restore(repo: &Path, session: usize, out: &Path) -> Result<(), String> {
-    let engine = open_engine(repo, 1)?;
+    let engine = open_engine(repo, 1, None)?;
     let files = engine
         .restore_session(session)
         .map_err(|e| format!("restore failed: {e}"))?;
@@ -124,7 +199,7 @@ fn cmd_restore(repo: &Path, session: usize, out: &Path) -> Result<(), String> {
 }
 
 fn cmd_restore_file(repo: &Path, session: usize, path: &str, out: &Path) -> Result<(), String> {
-    let engine = open_engine(repo, 1)?;
+    let engine = open_engine(repo, 1, None)?;
     let file = engine
         .restore_file(session, path)
         .map_err(|e| format!("restore failed: {e}"))?;
@@ -139,7 +214,7 @@ fn cmd_restore_file(repo: &Path, session: usize, path: &str, out: &Path) -> Resu
 }
 
 fn cmd_sessions(repo: &Path) -> Result<(), String> {
-    let engine = open_engine(repo, 1)?;
+    let engine = open_engine(repo, 1, None)?;
     let sessions = engine.list_sessions();
     if sessions.is_empty() {
         println!("no sessions");
@@ -158,14 +233,14 @@ fn cmd_sessions(repo: &Path) -> Result<(), String> {
 }
 
 fn cmd_delete(repo: &Path, session: usize) -> Result<(), String> {
-    let mut engine = open_engine(repo, 1)?;
+    let mut engine = open_engine(repo, 1, None)?;
     engine.delete_session(session).map_err(|e| format!("delete failed: {e}"))?;
     println!("deleted session {session}; unreferenced containers reclaimed");
     Ok(())
 }
 
 fn cmd_stats(repo: &Path) -> Result<(), String> {
-    let engine = open_engine(repo, 1)?;
+    let engine = open_engine(repo, 1, None)?;
     let store = engine.cloud().store();
     println!("repository: {} objects, {}", store.object_count(), human(store.stored_bytes()));
     println!(
@@ -207,9 +282,13 @@ fn main() -> ExitCode {
     let Some(repo) = take_repo(&mut args) else { return usage() };
     let Ok(workers) = take_workers(&mut args) else { return usage() };
     let workers = workers.unwrap_or(1);
+    let stats = take_flag(&mut args, "--stats");
+    let Ok(stats_json) = take_path(&mut args, "--stats-json") else { return usage() };
+    let Ok(trace) = take_path(&mut args, "--trace") else { return usage() };
+    let obs = ObsArgs { stats, stats_json, trace };
 
     let result = match (command.as_str(), args.as_slice()) {
-        ("backup", [src]) => cmd_backup(&repo, Path::new(src), workers),
+        ("backup", [src]) => cmd_backup(&repo, Path::new(src), workers, &obs),
         ("restore", [session, out]) => match session.parse() {
             Ok(s) => cmd_restore(&repo, s, Path::new(out)),
             Err(_) => return usage(),

@@ -1,0 +1,134 @@
+//! End-to-end test of the observability flags: run a real backup with
+//! `--stats`, `--stats-json` and `--trace`, then validate the emitted
+//! artifacts and reconcile the stage stats against the session report
+//! numbers the CLI prints.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+use aadedupe_obs::{json, Stage};
+
+fn bin() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_aabackup")).canonicalize().unwrap()
+}
+
+fn run(args: &[&str]) -> (bool, String) {
+    let out = Command::new(bin()).args(args).output().expect("spawn aabackup");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.success(), text)
+}
+
+/// Pulls `{dup} duplicate of {total} chunks` and `({tiny} tiny)` out of the
+/// CLI's session summary lines.
+fn parse_summary(out: &str) -> (u64, u64, u64) {
+    let mut dup = None;
+    let mut total = None;
+    let mut tiny = None;
+    for line in out.lines() {
+        if let Some(rest) = line.split(" duplicate of ").nth(1) {
+            total = rest.split(' ').next().and_then(|w| w.parse().ok());
+            let before = line.split(" duplicate of ").next().unwrap();
+            dup = before.rsplit(' ').next().and_then(|w| w.parse().ok());
+        }
+        if let Some(pos) = line.find(" tiny)") {
+            tiny = line[..pos].rsplit('(').next().and_then(|w| w.parse().ok());
+        }
+    }
+    (
+        dup.expect("duplicate count in CLI output"),
+        total.expect("chunk total in CLI output"),
+        tiny.expect("tiny count in CLI output"),
+    )
+}
+
+#[test]
+fn stats_json_and_trace_outputs() {
+    let root = std::env::temp_dir().join(format!("aabackup-obs-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&root);
+    fs::create_dir_all(root.join("src")).unwrap();
+    fs::create_dir_all(root.join("repo")).unwrap();
+
+    // A dynamic doc (CDC), a static-ish payload (SC via extension), a
+    // compressed photo (WFC) and a tiny note (size-filter bypass). All
+    // contents are distinct so no tiny file is carried within the session.
+    fs::write(root.join("src/report.doc"), b"lorem ipsum ".repeat(6000)).unwrap();
+    fs::write(
+        root.join("src/image.iso"),
+        (0..120_000u32).map(|i| (i.wrapping_mul(2654435761) >> 11) as u8).collect::<Vec<u8>>(),
+    )
+    .unwrap();
+    fs::write(root.join("src/photo.jpg"), vec![9u8; 30_000]).unwrap();
+    fs::write(root.join("src/note.txt"), b"tiny note").unwrap();
+
+    let repo = root.join("repo");
+    let stats_path = root.join("stats.json");
+    let trace_path = root.join("trace.ndjson");
+    let (ok, out) = run(&[
+        "backup",
+        "--repo",
+        repo.to_str().unwrap(),
+        "--workers",
+        "4",
+        "--stats",
+        "--stats-json",
+        stats_path.to_str().unwrap(),
+        "--trace",
+        trace_path.to_str().unwrap(),
+        root.join("src").to_str().unwrap(),
+    ]);
+    assert!(ok, "{out}");
+    // The human table rendered.
+    assert!(out.contains("stage"), "missing stats table:\n{out}");
+
+    let (dup, chunks_total, files_tiny) = parse_summary(&out);
+
+    // --stats-json parses and carries every stage key.
+    let doc = json::parse(&fs::read_to_string(&stats_path).unwrap()).expect("stats JSON parses");
+    let stages = doc.get("stages").as_obj().expect("stages object");
+    for stage in Stage::ALL {
+        let entry = stages.get(stage.name()).unwrap_or_else(|| panic!("stage {}", stage.name()));
+        assert!(entry.get("count").as_u64().is_some(), "{}", stage.name());
+    }
+    // Work actually flowed through the pipeline stages.
+    for stage in [Stage::Chunk, Stage::Hash, Stage::Index, Stage::Upload] {
+        let count = stages[stage.name()].get("count").as_u64().unwrap();
+        assert!(count > 0, "stage {} recorded nothing", stage.name());
+    }
+
+    // Per-AppType hit/miss counts reconcile with the session summary:
+    // every non-tiny chunk does exactly one partition lookup, and in a
+    // first session every index hit is a duplicate chunk (tiny files
+    // bypass the index entirely).
+    let apps = doc.get("apps").as_obj().expect("apps object");
+    let mut hits = 0u64;
+    let mut misses = 0u64;
+    for app in apps.values() {
+        hits += app.get("hits").as_u64().unwrap();
+        misses += app.get("misses").as_u64().unwrap();
+    }
+    assert_eq!(hits + misses, chunks_total - files_tiny, "{out}");
+    assert_eq!(hits, dup, "{out}");
+
+    // Trace stream: every line is an object with the chrome-trace keys.
+    let trace = fs::read_to_string(&trace_path).unwrap();
+    let mut events = 0;
+    for line in trace.lines() {
+        let ev = json::parse(line).expect("trace line parses");
+        let obj = ev.as_obj().expect("trace event object");
+        for key in ["name", "ph", "ts", "dur", "pid", "tid"] {
+            assert!(obj.contains_key(key), "trace event missing {key}: {line}");
+        }
+        assert_eq!(ev.get("ph").as_str(), Some("X"), "{line}");
+        events += 1;
+    }
+    assert!(events > 0, "empty trace");
+    // The session-level span is present.
+    assert!(trace.contains("\"session\""), "no session span in trace");
+
+    let _ = fs::remove_dir_all(&root);
+}

@@ -22,7 +22,9 @@
 use crate::builder::ContainerBuilder;
 use crate::format::{ChunkDescriptor, ContainerError, ParsedContainer};
 use aadedupe_hashing::Fingerprint;
+use aadedupe_obs::{Counter, Recorder, Stage};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Bit position splitting a container id into (stream, sequence): the low
 /// 40 bits count containers within a stream (over a trillion per stream),
@@ -92,6 +94,7 @@ pub struct ContainerStore {
     open: HashMap<u32, ContainerBuilder>,
     sealed: Vec<SealedContainer>,
     stats: StoreStats,
+    recorder: Arc<Recorder>,
 }
 
 impl ContainerStore {
@@ -104,7 +107,13 @@ impl ContainerStore {
             open: HashMap::new(),
             sealed: Vec::new(),
             stats: StoreStats::default(),
+            recorder: Recorder::shared_disabled(),
         }
+    }
+
+    /// Routes this store's append/seal observations to `recorder`.
+    pub fn set_recorder(&mut self, recorder: Arc<Recorder>) {
+        self.recorder = recorder;
     }
 
     /// The fixed container size.
@@ -139,6 +148,8 @@ impl ContainerStore {
     /// needed. Oversized chunks get a dedicated container sealed
     /// immediately.
     pub fn add_chunk(&mut self, stream: u32, fp: Fingerprint, chunk: &[u8]) -> Placement {
+        let started = self.recorder.start();
+        self.recorder.count(Counter::ContainerAppends, 1);
         self.stats.chunks += 1;
         self.stats.data_bytes += chunk.len() as u64;
         let digest_len = fp.algorithm().digest_len();
@@ -154,7 +165,10 @@ impl ContainerStore {
             self.stats.sealed += 1;
             self.stats.oversized += 1;
             self.stats.padding_bytes += padding as u64;
+            self.recorder.count(Counter::ContainersSealed, 1);
+            self.recorder.count(Counter::SealedBytes, bytes.len() as u64);
             self.sealed.push(SealedContainer { id, bytes, padding, chunks: 1 });
+            self.recorder.record(Stage::ContainerAppend, started);
             return Placement { container: id, offset };
         }
 
@@ -178,6 +192,7 @@ impl ContainerStore {
         };
         let builder = self.open.get_mut(&stream).expect("just ensured");
         let offset = builder.append(fp, chunk);
+        self.recorder.record(Stage::ContainerAppend, started);
         Placement { container: id, offset }
     }
 
@@ -188,12 +203,16 @@ impl ContainerStore {
             if b.is_empty() {
                 return;
             }
+            let started = self.recorder.start();
             let id = b.container_id();
             let chunks = b.chunk_count();
             let (bytes, padding) = b.seal();
             self.stats.sealed += 1;
             self.stats.padding_bytes += padding as u64;
+            self.recorder.count(Counter::ContainersSealed, 1);
+            self.recorder.count(Counter::SealedBytes, bytes.len() as u64);
             self.sealed.push(SealedContainer { id, bytes, padding, chunks });
+            self.recorder.record(Stage::ContainerSeal, started);
         }
     }
 

@@ -51,12 +51,13 @@ use aadedupe_container::{decompose_id, ContainerStore, Placement, DEFAULT_CONTAI
 use aadedupe_filetype::{AppType, DedupPolicy, SourceFile};
 use aadedupe_hashing::Fingerprint;
 use aadedupe_index::{codec, AppAwareIndex, ChunkEntry};
-use aadedupe_metrics::SessionReport;
+use aadedupe_metrics::{SessionReport, StageCpu};
+use aadedupe_obs::{Counter, Queue, Recorder, Snapshot, Stage, WorkerRole};
 
 use crate::recipe::{ChunkRef, FileRecipe, Manifest};
 use crate::restore::{container_key, restore_session, RestoredFile};
 use crate::scheme::{BackupError, BackupScheme};
-use crate::timing::DedupClock;
+use crate::timing::{DedupClock, DISK_SEEK, SOURCE_READ_BPS};
 
 /// How the engine decides between the serial and the parallel pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -128,6 +129,11 @@ pub struct AaDedupeConfig {
     pub pipeline: PipelineConfig,
     /// Cloud namespace prefix for this engine's objects.
     pub scheme_key: String,
+    /// Observability sink shared by the engine, index, container store and
+    /// chunkers. Disabled by default (one relaxed atomic load per
+    /// would-be observation); swap in an enabled [`Recorder`] — or call
+    /// `enable()` on this one — to collect per-stage metrics.
+    pub recorder: Arc<Recorder>,
 }
 
 impl Default for AaDedupeConfig {
@@ -142,6 +148,7 @@ impl Default for AaDedupeConfig {
             index_sync_interval: 1,
             pipeline: PipelineConfig::default(),
             scheme_key: "aa-dedupe".into(),
+            recorder: Recorder::shared_disabled(),
         }
     }
 }
@@ -203,11 +210,18 @@ fn chunk_and_hash(
     cdc: CdcParams,
     app: AppType,
     data: &[u8],
+    rec: &Arc<Recorder>,
 ) -> ChunkedFile {
     let start = Instant::now();
     let (method, hash) = policy.for_app(app);
     let chunks = StreamChunker::for_method(data, method, sc_chunk_size, cdc)
-        .map(|c| (Fingerprint::compute(hash, &c.data), c.data))
+        .instrumented(Arc::clone(rec))
+        .map(|c| {
+            let hashing = rec.start();
+            let fp = Fingerprint::compute(hash, &c.data);
+            rec.record(Stage::Hash, hashing);
+            (fp, c.data)
+        })
         .collect();
     ChunkedFile { chunks, cpu: start.elapsed() }
 }
@@ -283,11 +297,13 @@ fn pack_tiny(
     tiny_seen: &mut HashMap<String, (u64, ChunkRef)>,
     file: &dyn SourceFile,
     append: &mut dyn FnMut(Fingerprint, Vec<u8>) -> Placement,
+    rec: &Recorder,
 ) -> DedupedFile {
     let app = file.app_type();
     let token = file.change_token();
     if let Some((seen_token, reference)) = tiny_seen.get(file.path()) {
         if *seen_token == token {
+            rec.count(Counter::TinyCarried, 1);
             let reference = *reference;
             return DedupedFile {
                 recipe: FileRecipe {
@@ -303,6 +319,8 @@ fn pack_tiny(
             };
         }
     }
+    let packing = rec.start();
+    rec.count(Counter::TinyPacked, 1);
     let data = file.read();
     let start = Instant::now();
     // Tiny files are fingerprinted only for restore-time integrity
@@ -318,6 +336,7 @@ fn pack_tiny(
         offset: placement.offset,
     };
     tiny_seen.insert(file.path().to_string(), (token, reference));
+    rec.record(Stage::TinyPack, packing);
     DedupedFile {
         recipe: FileRecipe {
             path: file.path().to_string(),
@@ -361,9 +380,16 @@ impl AaDedupe {
 
     /// Engine with an explicit configuration.
     pub fn with_config(cloud: CloudSim, config: AaDedupeConfig) -> Self {
+        let mut index = AppAwareIndex::new(config.ram_entries_per_partition);
+        index.set_recorder(Arc::clone(&config.recorder));
+        let mut containers = ContainerStore::new(config.container_size);
+        containers.set_recorder(Arc::clone(&config.recorder));
+        for app in AppType::ALL {
+            config.recorder.label_app(app.tag(), app.to_string());
+        }
         AaDedupe {
-            index: AppAwareIndex::new(config.ram_entries_per_partition),
-            containers: ContainerStore::new(config.container_size),
+            index,
+            containers,
             sessions: 0,
             container_live: HashMap::new(),
             tiny_seen: HashMap::new(),
@@ -469,6 +495,7 @@ impl AaDedupe {
                 report.files_tiny += 1;
             }
         }
+        self.config.recorder.count(Counter::FilesClassified, files.len() as u64);
         if self.config.pipeline.parallel() {
             self.run_session_parallel(files, report, clock)
         } else {
@@ -485,23 +512,32 @@ impl AaDedupe {
     ) -> Manifest {
         let mut manifest = Manifest::new(self.sessions as u64);
         let cfg = &self.config;
+        let rec = &cfg.recorder;
         let index = &self.index;
         let containers = &mut self.containers;
         let tiny_seen = &mut self.tiny_seen;
         let container_live = &mut self.container_live;
         for file in files {
+            let span = rec.trace_start();
             let out = if file.size() < cfg.tiny_threshold {
-                pack_tiny(tiny_seen, *file, &mut |fp, bytes| {
-                    containers.add_chunk(TINY_STREAM, fp, &bytes)
-                })
+                pack_tiny(
+                    tiny_seen,
+                    *file,
+                    &mut |fp, bytes| containers.add_chunk(TINY_STREAM, fp, &bytes),
+                    rec,
+                )
             } else {
+                let classify = rec.start();
                 let app = file.app_type();
+                rec.record(Stage::Classify, classify);
                 let data = file.read();
-                let chunked = chunk_and_hash(&cfg.policy, cfg.sc_chunk_size, cfg.cdc, app, &data);
+                let chunked =
+                    chunk_and_hash(&cfg.policy, cfg.sc_chunk_size, cfg.cdc, app, &data, rec);
                 dedupe_chunks(index, file.path(), app, chunked, &mut |fp, bytes| {
                     containers.add_chunk(app.tag() as u32, fp, &bytes)
                 })
             };
+            rec.trace_complete("file", span);
             manifest.files.push(absorb(out, report, clock, container_live));
         }
         manifest
@@ -517,6 +553,7 @@ impl AaDedupe {
     ) -> Manifest {
         let session = self.sessions as u64;
         let cfg = &self.config;
+        let rec = &cfg.recorder;
         let index = &self.index;
         let tiny_seen = &mut self.tiny_seen;
         let container_live = &mut self.container_live;
@@ -562,10 +599,22 @@ impl AaDedupe {
             // Single-writer appender: the only thread touching the store.
             let appender = scope.spawn(move || {
                 let mut store = store;
-                while let Ok(req) = append_rx.recv() {
+                let (mut busy, mut idle) = (Duration::ZERO, Duration::ZERO);
+                loop {
+                    let waiting = rec.start();
+                    let Ok(req) = append_rx.recv() else { break };
+                    rec.queue_pop(Queue::Appender);
+                    if let Some(w) = waiting {
+                        idle += w.elapsed();
+                    }
+                    let working = rec.start();
                     let placement = store.add_chunk(req.stream, req.fp, &req.bytes);
                     let _ = req.reply.send(placement);
+                    if let Some(w) = working {
+                        busy += w.elapsed();
+                    }
                 }
+                rec.worker_report(WorkerRole::Appender, 0, busy, idle);
                 store
             });
 
@@ -581,18 +630,27 @@ impl AaDedupe {
                     let (reply_tx, reply_rx) = mpsc::channel::<Placement>();
                     let mut pending: BTreeMap<usize, ChunkedFile> = BTreeMap::new();
                     let mut next = 0usize;
+                    let (mut busy, mut idle) = (Duration::ZERO, Duration::ZERO);
                     while next < my_files.len() {
+                        let waiting = rec.start();
                         let (i, cf) = rx.recv().expect("workers outlive shard backlog");
+                        rec.queue_pop(Queue::Shards);
+                        if let Some(w) = waiting {
+                            idle += w.elapsed();
+                        }
+                        let working = rec.start();
                         pending.insert(i, cf);
                         while next < my_files.len() {
                             let want = my_files[next];
                             let Some(cf) = pending.remove(&want) else { break };
+                            let span = rec.trace_start();
                             let out = dedupe_chunks(
                                 index,
                                 files[want].path(),
                                 app,
                                 cf,
                                 &mut |fp, bytes| {
+                                    rec.queue_push(Queue::Appender);
                                     append_tx
                                         .send(AppendReq {
                                             stream: app.tag() as u32,
@@ -604,34 +662,58 @@ impl AaDedupe {
                                     reply_rx.recv().expect("appender replies")
                                 },
                             );
+                            rec.trace_complete("dedupe", span);
                             out_tx.send((want, out)).expect("main collects outcomes");
                             next += 1;
                         }
+                        if let Some(w) = working {
+                            busy += w.elapsed();
+                        }
                     }
+                    rec.worker_report(WorkerRole::Shard, tag_idx, busy, idle);
                 });
             }
             drop(out_tx); // shards hold the remaining clones
 
             // Chunk+hash workers: pull file indices, push chunked files to
             // the owning shard.
-            for _ in 0..workers {
+            for w in 0..workers {
                 let job_rx = Arc::clone(&job_rx);
                 let shard_txs: Vec<Option<mpsc::SyncSender<(usize, ChunkedFile)>>> =
                     shard_txs.clone();
-                scope.spawn(move || loop {
-                    let i = match job_rx.lock().expect("job queue lock").recv() {
-                        Ok(i) => i,
-                        Err(_) => return,
-                    };
-                    let file = files[i];
-                    let app = file.app_type();
-                    let data = file.read();
-                    let cf = chunk_and_hash(&cfg.policy, cfg.sc_chunk_size, cfg.cdc, app, &data);
-                    shard_txs[(app.tag() - 1) as usize]
-                        .as_ref()
-                        .expect("shard exists for routed app")
-                        .send((i, cf))
-                        .expect("shard outlives its backlog");
+                scope.spawn(move || {
+                    let (mut busy, mut idle) = (Duration::ZERO, Duration::ZERO);
+                    loop {
+                        let waiting = rec.start();
+                        let i = match job_rx.lock().expect("job queue lock").recv() {
+                            Ok(i) => i,
+                            Err(_) => break,
+                        };
+                        rec.queue_pop(Queue::Jobs);
+                        if let Some(t) = waiting {
+                            idle += t.elapsed();
+                        }
+                        let working = rec.start();
+                        let span = rec.trace_start();
+                        let file = files[i];
+                        let classify = rec.start();
+                        let app = file.app_type();
+                        rec.record(Stage::Classify, classify);
+                        let data = file.read();
+                        let cf =
+                            chunk_and_hash(&cfg.policy, cfg.sc_chunk_size, cfg.cdc, app, &data, rec);
+                        rec.trace_complete("chunk_hash", span);
+                        if let Some(t) = working {
+                            busy += t.elapsed();
+                        }
+                        rec.queue_push(Queue::Shards);
+                        shard_txs[(app.tag() - 1) as usize]
+                            .as_ref()
+                            .expect("shard exists for routed app")
+                            .send((i, cf))
+                            .expect("shard outlives its backlog");
+                    }
+                    rec.worker_report(WorkerRole::Chunker, w, busy, idle);
                 });
             }
             drop(shard_txs); // workers hold the remaining clones
@@ -639,6 +721,7 @@ impl AaDedupe {
             // Feeder: bounded job queue, closed when exhausted.
             scope.spawn(move || {
                 for i in big_order {
+                    rec.queue_push(Queue::Jobs);
                     if job_tx.send(i).is_err() {
                         return;
                     }
@@ -651,17 +734,23 @@ impl AaDedupe {
                 let (reply_tx, reply_rx) = mpsc::channel::<Placement>();
                 for (i, file) in files.iter().enumerate() {
                     if file.size() < tiny_threshold {
-                        let out = pack_tiny(tiny_seen, *file, &mut |fp, bytes| {
-                            append_tx
-                                .send(AppendReq {
-                                    stream: TINY_STREAM,
-                                    fp,
-                                    bytes,
-                                    reply: reply_tx.clone(),
-                                })
-                                .expect("appender outlives tiny packing");
-                            reply_rx.recv().expect("appender replies")
-                        });
+                        let out = pack_tiny(
+                            tiny_seen,
+                            *file,
+                            &mut |fp, bytes| {
+                                rec.queue_push(Queue::Appender);
+                                append_tx
+                                    .send(AppendReq {
+                                        stream: TINY_STREAM,
+                                        fp,
+                                        bytes,
+                                        reply: reply_tx.clone(),
+                                    })
+                                    .expect("appender outlives tiny packing");
+                                reply_rx.recv().expect("appender replies")
+                            },
+                            rec,
+                        );
                         tiny_out.insert(i, out);
                     }
                 }
@@ -743,6 +832,7 @@ impl AaDedupe {
         let bytes = bytes.ok_or_else(|| BackupError::MissingObject(latest.clone()))?;
         self.index = codec::decode_app_aware(&bytes, self.config.ram_entries_per_partition)
             .map_err(|e| BackupError::Corrupt(format!("index snapshot: {e}")))?;
+        self.index.set_recorder(Arc::clone(&self.config.recorder));
         self.resume_container_ids();
         Ok(())
     }
@@ -759,6 +849,11 @@ impl BackupScheme for AaDedupe {
     ) -> Result<SessionReport, BackupError> {
         let mut report = SessionReport::new(self.name(), self.sessions);
         let mut clock = DedupClock::new();
+        let rec = Arc::clone(&self.config.recorder);
+        // Per-session stage figures come from snapshot deltas: the
+        // recorder's histograms are lifetime-cumulative.
+        let obs_before: Option<Snapshot> = rec.is_enabled().then(|| rec.snapshot());
+        let session_span = rec.trace_start();
         let wan_before = self.cloud.elapsed();
         let puts_before = self.cloud.store().stats();
 
@@ -772,31 +867,66 @@ impl BackupScheme for AaDedupe {
         self.containers.seal_all();
         let mut sealed = self.containers.drain_sealed();
         sealed.sort_by_key(|s| s.id);
+        let upload_span = rec.trace_start();
         for sealed in sealed {
+            let uploading = rec.start();
             let key = container_key(&self.config.scheme_key, sealed.id);
             report.transferred_bytes += sealed.bytes.len() as u64;
+            rec.count(Counter::UploadBytes, sealed.bytes.len() as u64);
+            rec.count(Counter::UploadObjects, 1);
             self.cloud.put(&key, sealed.bytes);
+            rec.record(Stage::Upload, uploading);
         }
         // Ship the manifest.
+        let uploading = rec.start();
         let mbytes = manifest.encode();
         report.transferred_bytes += mbytes.len() as u64;
+        rec.count(Counter::UploadBytes, mbytes.len() as u64);
+        rec.count(Counter::UploadObjects, 1);
         self.cloud.put(&Manifest::key(&self.config.scheme_key, manifest.session), mbytes);
+        rec.record(Stage::Upload, uploading);
         // Periodic index synchronisation.
         if self.config.index_sync_interval > 0
             && (self.sessions + 1).is_multiple_of(self.config.index_sync_interval)
         {
+            let uploading = rec.start();
             let snap = codec::encode_app_aware(&self.index);
             report.transferred_bytes += snap.len() as u64;
+            rec.count(Counter::UploadBytes, snap.len() as u64);
+            rec.count(Counter::UploadObjects, 1);
             self.cloud.put(
                 &format!("{}/index/{:08}", self.config.scheme_key, self.sessions),
                 snap,
             );
+            rec.record(Stage::Upload, uploading);
         }
+        rec.trace_complete("upload", upload_span);
 
         let put_delta = self.cloud.store().stats().put_requests - puts_before.put_requests;
         report.put_requests = put_delta;
-        report.dedup_cpu = clock.total();
+        report.dedup_cpu = match obs_before {
+            // With the recorder on, dedup CPU is the sum of the measured
+            // chunk/hash/index stage times plus the modelled source read
+            // and disk-probe charges — same model as DedupClock::total,
+            // with the CPU term decomposed per stage.
+            Some(before) => {
+                let delta = rec.snapshot().delta_since(&before);
+                let stage = StageCpu {
+                    source_read: Duration::from_secs_f64(
+                        report.logical_bytes as f64 / SOURCE_READ_BPS,
+                    ),
+                    chunk: delta.stage_total(Stage::Chunk),
+                    hash: delta.stage_total(Stage::Hash),
+                    index: delta.stage_total(Stage::Index)
+                        + DISK_SEEK * report.index_disk_reads as u32,
+                };
+                report.stage_cpu = Some(stage);
+                stage.total()
+            }
+            None => clock.total(),
+        };
         report.transfer_time = self.cloud.elapsed() - wan_before;
+        rec.trace_complete("session", session_span);
         self.sessions += 1;
         Ok(report)
     }

@@ -19,11 +19,14 @@ use crate::partition::IndexPartition;
 use crate::{ChunkEntry, ChunkIndex, IndexStats, LookupOutcome};
 use aadedupe_filetype::AppType;
 use aadedupe_hashing::Fingerprint;
+use aadedupe_obs::{Counter, Recorder, Stage};
+use std::sync::Arc;
 
 /// Per-application chunk index.
 pub struct AppAwareIndex {
     /// Indexed by `AppType::tag() - 1`.
     partitions: Vec<IndexPartition>,
+    recorder: Arc<Recorder>,
 }
 
 impl AppAwareIndex {
@@ -38,7 +41,14 @@ impl AppAwareIndex {
                 .iter()
                 .map(|_| IndexPartition::new(ram_per_partition))
                 .collect(),
+            recorder: Recorder::shared_disabled(),
         }
+    }
+
+    /// Routes this index's lookup observations (stage latency, per-app
+    /// hit/miss, disk probes) to `recorder`.
+    pub fn set_recorder(&mut self, recorder: Arc<Recorder>) {
+        self.recorder = recorder;
     }
 
     /// The partition serving an application type.
@@ -53,12 +63,21 @@ impl AppAwareIndex {
 
     /// Classified lookup within one application's partition.
     pub fn lookup_classified(&self, app: AppType, fp: &Fingerprint) -> LookupOutcome {
-        self.partition(app).lookup_classified(fp)
+        let started = self.recorder.start();
+        let outcome = self.partition(app).lookup_classified(fp);
+        self.recorder.record(Stage::Index, started);
+        if started.is_some() {
+            self.recorder.index_outcome(app.tag(), outcome.entry().is_some());
+            if outcome.touched_disk() {
+                self.recorder.count(Counter::IndexDiskProbes, 1);
+            }
+        }
+        outcome
     }
 
     /// Lookup within one application's partition.
     pub fn lookup(&self, app: AppType, fp: &Fingerprint) -> Option<ChunkEntry> {
-        self.partition(app).lookup(fp)
+        self.lookup_classified(app, fp).entry()
     }
 
     /// Insert into one application's partition.

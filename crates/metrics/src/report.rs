@@ -6,6 +6,30 @@
 use crate::{backup_window_secs, dedup_efficiency, dedup_ratio, EnergyModel};
 use std::time::Duration;
 
+/// Per-stage breakdown of a session's dedup CPU time, measured by the
+/// observability recorder. When present, [`SessionReport::dedup_cpu`] is
+/// exactly [`StageCpu::total`] — the regression test
+/// `stage_cpu_parts_sum_to_dedup_cpu` in `aadedupe-core` holds both paths
+/// to that identity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageCpu {
+    /// Modelled time reading the dataset off the source disk.
+    pub source_read: Duration,
+    /// Measured chunk-boundary production time.
+    pub chunk: Duration,
+    /// Measured fingerprinting time.
+    pub hash: Duration,
+    /// Measured index lookup time plus the modelled on-disk probe charge.
+    pub index: Duration,
+}
+
+impl StageCpu {
+    /// Sum of the per-stage parts (the session's dedup CPU).
+    pub fn total(&self) -> Duration {
+        self.source_read + self.chunk + self.hash + self.index
+    }
+}
+
 /// Measured outcome of one backup session under one scheme.
 #[derive(Debug, Clone)]
 pub struct SessionReport {
@@ -37,6 +61,9 @@ pub struct SessionReport {
     pub files_tiny: u64,
     /// Modelled on-disk index probes.
     pub index_disk_reads: u64,
+    /// Per-stage breakdown of `dedup_cpu`, when the session ran with the
+    /// observability recorder enabled (`None` otherwise).
+    pub stage_cpu: Option<StageCpu>,
 }
 
 impl SessionReport {
@@ -56,7 +83,15 @@ impl SessionReport {
             files_total: 0,
             files_tiny: 0,
             index_disk_reads: 0,
+            stage_cpu: None,
         }
+    }
+
+    /// Whether this session recorded no dedup CPU at all — the one
+    /// degenerate case [`dt`](Self::dt), [`de`](Self::de) and
+    /// [`bws`](Self::bws) all special-case the same way.
+    fn zero_cpu(&self) -> bool {
+        self.dedup_cpu.is_zero()
     }
 
     /// Dedup ratio DR for this session.
@@ -66,18 +101,16 @@ impl SessionReport {
 
     /// Dedup throughput DT (bytes/s): logical bytes over dedup CPU time.
     pub fn dt(&self) -> f64 {
-        let secs = self.dedup_cpu.as_secs_f64();
-        if secs == 0.0 {
+        if self.zero_cpu() {
             f64::INFINITY
         } else {
-            self.logical_bytes as f64 / secs
+            self.logical_bytes as f64 / self.dedup_cpu.as_secs_f64()
         }
     }
 
     /// The paper's dedup-efficiency metric DE (bytes saved per second).
     pub fn de(&self) -> f64 {
-        let dt = self.dt();
-        if dt.is_infinite() {
+        if self.zero_cpu() {
             // Degenerate zero-CPU session: efficiency is bytes saved over
             // zero time; report saved bytes per transfer second instead of
             // infinity when transfer time exists.
@@ -85,7 +118,7 @@ impl SessionReport {
             let saved = self.logical_bytes.saturating_sub(self.stored_bytes) as f64;
             return if secs == 0.0 { 0.0 } else { saved / secs };
         }
-        dedup_efficiency(self.dr().max(1.0), dt)
+        dedup_efficiency(self.dr().max(1.0), self.dt())
     }
 
     /// Backup window (seconds) under the pipelined model with network
@@ -94,12 +127,11 @@ impl SessionReport {
         if self.logical_bytes == 0 {
             return 0.0;
         }
-        let dt = self.dt();
-        if dt.is_infinite() {
+        if self.zero_cpu() {
             // Pure-transfer scheme: window is the transfer term alone.
             return self.logical_bytes as f64 / (self.dr().max(1.0) * nt_bytes_per_sec);
         }
-        backup_window_secs(self.logical_bytes, dt, self.dr().max(1.0), nt_bytes_per_sec)
+        backup_window_secs(self.logical_bytes, self.dt(), self.dr().max(1.0), nt_bytes_per_sec)
     }
 
     /// Session energy (joules) under `model`, using the measured compute
@@ -144,13 +176,29 @@ impl SessionReport {
     }
 }
 
-/// Sums cumulative stored bytes across sessions (the Fig. 7 series).
-pub fn cumulative_stored(reports: &[SessionReport]) -> Vec<u64> {
+/// Sums cumulative *transferred* bytes across sessions — containers,
+/// recipes and index snapshots as shipped to the cloud. This is what lands
+/// in cloud storage, i.e. the Fig. 7 "cumulative cloud storage" series.
+pub fn cumulative_transferred(reports: &[SessionReport]) -> Vec<u64> {
     let mut acc = 0u64;
     reports
         .iter()
         .map(|r| {
             acc += r.transferred_bytes;
+            acc
+        })
+        .collect()
+}
+
+/// Sums cumulative *stored* bytes across sessions — unique post-dedup
+/// chunk payload, before container metadata/padding and recipes. Compare
+/// with [`cumulative_transferred`] to see the container/metadata overhead.
+pub fn cumulative_stored(reports: &[SessionReport]) -> Vec<u64> {
+    let mut acc = 0u64;
+    reports
+        .iter()
+        .map(|r| {
+            acc += r.stored_bytes;
             acc
         })
         .collect()
@@ -175,6 +223,7 @@ mod tests {
             files_total: 10,
             files_tiny: 4,
             index_disk_reads: 2,
+            stage_cpu: None,
         }
     }
 
@@ -228,6 +277,21 @@ mod tests {
         let mut rs = vec![sample(), sample(), sample()];
         rs[1].transferred_bytes = 100;
         rs[2].transferred_bytes = 1;
-        assert_eq!(cumulative_stored(&rs), vec![260_000, 260_100, 260_101]);
+        rs[1].stored_bytes = 70;
+        rs[2].stored_bytes = 9;
+        assert_eq!(cumulative_transferred(&rs), vec![260_000, 260_100, 260_101]);
+        assert_eq!(cumulative_stored(&rs), vec![250_000, 250_070, 250_079]);
+    }
+
+    #[test]
+    fn stage_cpu_total_sums_parts() {
+        let sc = StageCpu {
+            source_read: Duration::from_millis(5),
+            chunk: Duration::from_millis(3),
+            hash: Duration::from_millis(2),
+            index: Duration::from_millis(1),
+        };
+        assert_eq!(sc.total(), Duration::from_millis(11));
+        assert_eq!(StageCpu::default().total(), Duration::ZERO);
     }
 }

@@ -1,0 +1,596 @@
+//! Observability for the AA-Dedupe pipeline — std-only, zero-cost when
+//! disabled.
+//!
+//! The backup engine's per-session [`SessionReport`] aggregates say *what*
+//! a session cost; this crate says *where*: per-stage latency histograms
+//! (classify / chunk / hash / index / container / upload), per-application
+//! index hit/miss counters, pipeline worker busy/idle time, and channel
+//! queue-depth high-water marks. A [`Recorder`] is plumbed through the
+//! engine, index, container store, and chunker; everything it records can
+//! be exported as a human table, a machine-readable JSON snapshot, or a
+//! `chrome://tracing`-compatible NDJSON event stream.
+//!
+//! # Zero-cost when disabled
+//!
+//! Every recording entry point first performs one relaxed atomic load of
+//! the enabled flag and returns immediately when it is off — no clock
+//! reads, no allocation, no locks. [`Recorder::start`] returns `None` when
+//! disabled so callers skip their `Instant::now()` too. The
+//! `overhead_guard` test enforces a generous per-op budget on the disabled
+//! path so a regression (an accidental mutex or allocation) fails CI.
+//!
+//! # Determinism
+//!
+//! The recorder only *observes*: no code path consults it to make a
+//! decision, so enabling observability cannot perturb the serial ↔
+//! parallel determinism contract (the differential suite runs with it
+//! enabled to prove this).
+//!
+//! [`SessionReport`]: https://docs.rs/aadedupe-metrics
+
+pub mod hist;
+pub mod json;
+pub mod snapshot;
+pub mod trace;
+
+pub use hist::{bucket_bounds, bucket_index, Histogram, HistogramSnapshot, BUCKETS};
+pub use snapshot::{AppIndexSnapshot, QueueSnapshot, Snapshot, StageSnapshot, WorkerSnapshot};
+pub use trace::{TraceEvent, TraceSink};
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// The instrumented stages of the backup pipeline, in dataflow order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(usize)]
+pub enum Stage {
+    /// File-type / application classification.
+    Classify,
+    /// Chunk boundary production (per chunk).
+    Chunk,
+    /// Fingerprint computation (per chunk).
+    Hash,
+    /// Index partition lookup (per chunk).
+    Index,
+    /// Appending a unique chunk to its stream's open container.
+    ContainerAppend,
+    /// Sealing a full (or end-of-session) container.
+    ContainerSeal,
+    /// Packing one tiny file (the size-filter bypass path).
+    TinyPack,
+    /// Shipping sealed containers, the manifest, and index snapshots.
+    Upload,
+}
+
+impl Stage {
+    /// Every stage, in dataflow order.
+    pub const ALL: [Stage; 8] = [
+        Stage::Classify,
+        Stage::Chunk,
+        Stage::Hash,
+        Stage::Index,
+        Stage::ContainerAppend,
+        Stage::ContainerSeal,
+        Stage::TinyPack,
+        Stage::Upload,
+    ];
+
+    /// Stable snake_case name (the JSON key).
+    pub const fn name(self) -> &'static str {
+        match self {
+            Stage::Classify => "classify",
+            Stage::Chunk => "chunk",
+            Stage::Hash => "hash",
+            Stage::Index => "index",
+            Stage::ContainerAppend => "container_append",
+            Stage::ContainerSeal => "container_seal",
+            Stage::TinyPack => "tiny_pack",
+            Stage::Upload => "upload",
+        }
+    }
+}
+
+/// Monotonic counters with stable names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Counter {
+    /// Files classified by the size filter / classifier.
+    FilesClassified,
+    /// Chunks produced by content-defined chunking.
+    ChunksCdc,
+    /// Chunks produced by static (fixed-size) chunking.
+    ChunksSc,
+    /// Chunks produced by whole-file chunking.
+    ChunksWfc,
+    /// Bytes that passed through a chunker.
+    ChunkBytes,
+    /// Index lookups that the storage model charged a disk probe for.
+    IndexDiskProbes,
+    /// Chunks appended to containers (unique chunks + tiny payloads).
+    ContainerAppends,
+    /// Containers sealed.
+    ContainersSealed,
+    /// Serialized bytes of sealed containers.
+    SealedBytes,
+    /// Tiny files packed (read + appended).
+    TinyPacked,
+    /// Tiny files carried forward by reference (unchanged since last
+    /// session; no bytes moved).
+    TinyCarried,
+    /// Objects uploaded to the cloud namespace.
+    UploadObjects,
+    /// Bytes uploaded to the cloud namespace.
+    UploadBytes,
+}
+
+impl Counter {
+    /// Every counter.
+    pub const ALL: [Counter; 13] = [
+        Counter::FilesClassified,
+        Counter::ChunksCdc,
+        Counter::ChunksSc,
+        Counter::ChunksWfc,
+        Counter::ChunkBytes,
+        Counter::IndexDiskProbes,
+        Counter::ContainerAppends,
+        Counter::ContainersSealed,
+        Counter::SealedBytes,
+        Counter::TinyPacked,
+        Counter::TinyCarried,
+        Counter::UploadObjects,
+        Counter::UploadBytes,
+    ];
+
+    /// Stable snake_case name (the JSON key).
+    pub const fn name(self) -> &'static str {
+        match self {
+            Counter::FilesClassified => "files_classified",
+            Counter::ChunksCdc => "chunks_cdc",
+            Counter::ChunksSc => "chunks_sc",
+            Counter::ChunksWfc => "chunks_wfc",
+            Counter::ChunkBytes => "chunk_bytes",
+            Counter::IndexDiskProbes => "index_disk_probes",
+            Counter::ContainerAppends => "container_appends",
+            Counter::ContainersSealed => "containers_sealed",
+            Counter::SealedBytes => "sealed_bytes",
+            Counter::TinyPacked => "tiny_packed",
+            Counter::TinyCarried => "tiny_carried",
+            Counter::UploadObjects => "upload_objects",
+            Counter::UploadBytes => "upload_bytes",
+        }
+    }
+}
+
+/// The parallel pipeline's bounded channels, tracked as depth gauges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Queue {
+    /// Feeder → chunk+hash workers job queue.
+    Jobs,
+    /// Workers → per-application dedup shards (aggregated over shards).
+    Shards,
+    /// Shards/tiny-packer → single-writer appender backlog.
+    Appender,
+}
+
+impl Queue {
+    /// Every queue.
+    pub const ALL: [Queue; 3] = [Queue::Jobs, Queue::Shards, Queue::Appender];
+
+    /// Stable snake_case name (the JSON key).
+    pub const fn name(self) -> &'static str {
+        match self {
+            Queue::Jobs => "jobs",
+            Queue::Shards => "shards",
+            Queue::Appender => "appender",
+        }
+    }
+}
+
+/// Which pipeline thread a busy/idle report describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum WorkerRole {
+    /// A chunk+hash worker.
+    Chunker,
+    /// A per-application dedup shard.
+    Shard,
+    /// The single-writer container appender.
+    Appender,
+}
+
+impl WorkerRole {
+    /// Stable name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            WorkerRole::Chunker => "chunker",
+            WorkerRole::Shard => "shard",
+            WorkerRole::Appender => "appender",
+        }
+    }
+}
+
+/// Highest application tag the per-app hit/miss table covers (AA-Dedupe
+/// uses tags 1..=13).
+pub const MAX_APP_TAG: usize = 32;
+
+#[derive(Debug, Default)]
+struct QueueGauge {
+    depth: AtomicI64,
+    hwm: AtomicI64,
+}
+
+/// One thread's accumulated busy/idle time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct WorkerTime {
+    role: WorkerRole,
+    id: usize,
+    busy: Duration,
+    idle: Duration,
+}
+
+/// The metrics sink every instrumented component records into.
+///
+/// Cheap to share (`Arc<Recorder>`); all methods take `&self` and are
+/// thread-safe. Counters and histograms accumulate over the recorder's
+/// lifetime — callers wanting per-session figures take a [`Snapshot`]
+/// before and after and subtract.
+pub struct Recorder {
+    enabled: AtomicBool,
+    tracing: AtomicBool,
+    epoch: Instant,
+    stages: [Histogram; Stage::ALL.len()],
+    counters: [AtomicU64; Counter::ALL.len()],
+    app_hits: [AtomicU64; MAX_APP_TAG],
+    app_misses: [AtomicU64; MAX_APP_TAG],
+    app_labels: Mutex<Vec<(u8, String)>>,
+    queues: [QueueGauge; Queue::ALL.len()],
+    workers: Mutex<Vec<WorkerTime>>,
+    trace: TraceSink,
+}
+
+impl fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Recorder")
+            .field("enabled", &self.is_enabled())
+            .field("tracing", &self.is_tracing())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Recorder {
+    fn with_enabled(enabled: bool) -> Self {
+        Recorder {
+            enabled: AtomicBool::new(enabled),
+            tracing: AtomicBool::new(false),
+            epoch: Instant::now(),
+            stages: std::array::from_fn(|_| Histogram::new()),
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            app_hits: std::array::from_fn(|_| AtomicU64::new(0)),
+            app_misses: std::array::from_fn(|_| AtomicU64::new(0)),
+            app_labels: Mutex::new(Vec::new()),
+            queues: std::array::from_fn(|_| QueueGauge::default()),
+            workers: Mutex::new(Vec::new()),
+            trace: TraceSink::default(),
+        }
+    }
+
+    /// An enabled recorder.
+    pub fn new() -> Self {
+        Self::with_enabled(true)
+    }
+
+    /// A disabled recorder — every recording call is a no-op after one
+    /// relaxed atomic load.
+    pub fn disabled() -> Self {
+        Self::with_enabled(false)
+    }
+
+    /// Shared enabled recorder.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::new())
+    }
+
+    /// Shared disabled recorder (the default everywhere).
+    pub fn shared_disabled() -> Arc<Self> {
+        Arc::new(Self::disabled())
+    }
+
+    /// Turns recording on.
+    pub fn enable(&self) {
+        self.enabled.store(true, Relaxed);
+    }
+
+    /// Turns recording off (tracing too).
+    pub fn disable(&self) {
+        self.enabled.store(false, Relaxed);
+        self.tracing.store(false, Relaxed);
+    }
+
+    /// Whether metrics are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Relaxed)
+    }
+
+    /// Additionally buffer chrome-trace events (implies enabled).
+    pub fn enable_tracing(&self) {
+        self.enabled.store(true, Relaxed);
+        self.tracing.store(true, Relaxed);
+    }
+
+    /// Whether trace events are being buffered.
+    pub fn is_tracing(&self) -> bool {
+        self.tracing.load(Relaxed)
+    }
+
+    /// Starts a stage/trace timer: `Some(now)` when enabled, `None` when
+    /// disabled — so disabled callers never read the clock.
+    #[inline]
+    pub fn start(&self) -> Option<Instant> {
+        if self.is_enabled() {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Records the elapsed time of a timer obtained from
+    /// [`Recorder::start`] into `stage`'s histogram.
+    #[inline]
+    pub fn record(&self, stage: Stage, started: Option<Instant>) {
+        if let Some(t) = started {
+            self.record_duration(stage, t.elapsed());
+        }
+    }
+
+    /// Records an externally measured duration into `stage`'s histogram.
+    #[inline]
+    pub fn record_duration(&self, stage: Stage, d: Duration) {
+        if self.is_enabled() {
+            self.stages[stage as usize].record(d.as_nanos().min(u64::MAX as u128) as u64);
+        }
+    }
+
+    /// Adds `n` to a counter.
+    #[inline]
+    pub fn count(&self, counter: Counter, n: u64) {
+        if self.is_enabled() {
+            self.counters[counter as usize].fetch_add(n, Relaxed);
+        }
+    }
+
+    /// Registers a human-readable label for an application tag (idempotent;
+    /// used by the snapshot exports).
+    pub fn label_app(&self, tag: u8, label: impl Into<String>) {
+        let mut g = self.app_labels.lock().unwrap_or_else(|e| e.into_inner());
+        if !g.iter().any(|(t, _)| *t == tag) {
+            g.push((tag, label.into()));
+        }
+    }
+
+    /// Records one index lookup outcome for an application partition.
+    #[inline]
+    pub fn index_outcome(&self, tag: u8, hit: bool) {
+        if self.is_enabled() {
+            let slot = (tag as usize).min(MAX_APP_TAG - 1);
+            let table = if hit { &self.app_hits } else { &self.app_misses };
+            table[slot].fetch_add(1, Relaxed);
+        }
+    }
+
+    /// Notes one item entering a queue (call *before* the blocking send, so
+    /// the high-water mark counts producers waiting on a full channel).
+    #[inline]
+    pub fn queue_push(&self, q: Queue) {
+        if self.is_enabled() {
+            let g = &self.queues[q as usize];
+            let depth = g.depth.fetch_add(1, Relaxed) + 1;
+            g.hwm.fetch_max(depth, Relaxed);
+        }
+    }
+
+    /// Notes one item leaving a queue.
+    #[inline]
+    pub fn queue_pop(&self, q: Queue) {
+        if self.is_enabled() {
+            self.queues[q as usize].depth.fetch_sub(1, Relaxed);
+        }
+    }
+
+    /// Reports a pipeline thread's accumulated busy/idle split (called once
+    /// per thread at exit).
+    pub fn worker_report(&self, role: WorkerRole, id: usize, busy: Duration, idle: Duration) {
+        if self.is_enabled() {
+            self.workers
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(WorkerTime { role, id, busy, idle });
+        }
+    }
+
+    /// Starts a trace timer: `Some(now)` only when tracing is on.
+    #[inline]
+    pub fn trace_start(&self) -> Option<Instant> {
+        if self.is_tracing() {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Buffers a complete trace event for a timer from
+    /// [`Recorder::trace_start`].
+    pub fn trace_complete(&self, name: &'static str, started: Option<Instant>) {
+        let Some(t) = started else { return };
+        if !self.is_tracing() {
+            return;
+        }
+        let ts_ns = t.duration_since(self.epoch).as_nanos().min(u64::MAX as u128) as u64;
+        let dur_ns = t.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        self.trace.push(TraceEvent { name, ts_ns, dur_ns, tid: self.trace.tid() });
+    }
+
+    /// Takes every buffered trace event, ordered by start time.
+    pub fn drain_trace(&self) -> Vec<TraceEvent> {
+        self.trace.drain()
+    }
+
+    /// Writes the buffered trace as NDJSON (one chrome-trace complete event
+    /// per line), draining the buffer.
+    pub fn write_trace_ndjson(&self, out: &mut dyn std::io::Write) -> std::io::Result<()> {
+        for ev in self.drain_trace() {
+            writeln!(out, "{}", ev.to_json())?;
+        }
+        Ok(())
+    }
+
+    /// Point-in-time copy of every metric. Safe to call while other
+    /// threads record; each histogram snapshot is internally consistent
+    /// (its count is the sum of its buckets).
+    pub fn snapshot(&self) -> Snapshot {
+        let labels = self.app_labels.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        let label_of = |tag: u8| {
+            labels
+                .iter()
+                .find(|(t, _)| *t == tag)
+                .map(|(_, l)| l.clone())
+                .unwrap_or_else(|| format!("app_{tag:02}"))
+        };
+        let mut apps = Vec::new();
+        for tag in 0..MAX_APP_TAG {
+            let hits = self.app_hits[tag].load(Relaxed);
+            let misses = self.app_misses[tag].load(Relaxed);
+            if hits > 0 || misses > 0 {
+                apps.push(AppIndexSnapshot { tag: tag as u8, label: label_of(tag as u8), hits, misses });
+            }
+        }
+        let mut workers: Vec<WorkerSnapshot> = self
+            .workers
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|w| WorkerSnapshot {
+                role: w.role,
+                id: w.id,
+                busy_ns: w.busy.as_nanos().min(u64::MAX as u128) as u64,
+                idle_ns: w.idle.as_nanos().min(u64::MAX as u128) as u64,
+            })
+            .collect();
+        workers.sort_by_key(|w| (w.role, w.id));
+        Snapshot {
+            stages: Stage::ALL
+                .iter()
+                .map(|&s| StageSnapshot { stage: s, hist: self.stages[s as usize].snapshot() })
+                .collect(),
+            counters: Counter::ALL
+                .iter()
+                .map(|&c| (c, self.counters[c as usize].load(Relaxed)))
+                .collect(),
+            apps,
+            queues: Queue::ALL
+                .iter()
+                .map(|&q| {
+                    let g = &self.queues[q as usize];
+                    QueueSnapshot {
+                        queue: q,
+                        depth: g.depth.load(Relaxed).max(0) as u64,
+                        hwm: g.hwm.load(Relaxed).max(0) as u64,
+                    }
+                })
+                .collect(),
+            workers,
+        }
+    }
+
+    /// Zeroes every metric and drops buffered trace events. Labels and the
+    /// enabled/tracing flags are kept.
+    pub fn reset(&self) {
+        for h in &self.stages {
+            h.reset();
+        }
+        for c in &self.counters {
+            c.store(0, Relaxed);
+        }
+        for t in self.app_hits.iter().chain(&self.app_misses) {
+            t.store(0, Relaxed);
+        }
+        for q in &self.queues {
+            q.depth.store(0, Relaxed);
+            q.hwm.store(0, Relaxed);
+        }
+        self.workers.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        self.trace.drain();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let r = Recorder::disabled();
+        assert_eq!(r.start(), None);
+        r.record(Stage::Chunk, r.start());
+        r.record_duration(Stage::Hash, Duration::from_millis(5));
+        r.count(Counter::ChunkBytes, 100);
+        r.index_outcome(1, true);
+        r.queue_push(Queue::Jobs);
+        r.worker_report(WorkerRole::Chunker, 0, Duration::from_secs(1), Duration::ZERO);
+        r.trace_complete("x", r.trace_start());
+        let s = r.snapshot();
+        assert_eq!(s.stage(Stage::Chunk).hist.count, 0);
+        assert_eq!(s.counter(Counter::ChunkBytes), 0);
+        assert!(s.apps.is_empty());
+        assert!(s.workers.is_empty());
+        assert_eq!(s.queue(Queue::Jobs).hwm, 0);
+        assert!(r.drain_trace().is_empty());
+    }
+
+    #[test]
+    fn enabled_recorder_accumulates_everything() {
+        let r = Recorder::new();
+        r.record(Stage::Chunk, r.start());
+        r.record_duration(Stage::Chunk, Duration::from_micros(3));
+        r.count(Counter::ChunksCdc, 2);
+        r.index_outcome(5, true);
+        r.index_outcome(5, false);
+        r.index_outcome(5, false);
+        r.label_app(5, "rar");
+        r.queue_push(Queue::Appender);
+        r.queue_push(Queue::Appender);
+        r.queue_pop(Queue::Appender);
+        r.worker_report(WorkerRole::Shard, 4, Duration::from_millis(2), Duration::from_millis(1));
+        let s = r.snapshot();
+        assert_eq!(s.stage(Stage::Chunk).hist.count, 2);
+        assert_eq!(s.counter(Counter::ChunksCdc), 2);
+        let app = &s.apps[0];
+        assert_eq!((app.tag, app.label.as_str(), app.hits, app.misses), (5, "rar", 1, 2));
+        assert_eq!(s.queue(Queue::Appender).hwm, 2);
+        assert_eq!(s.queue(Queue::Appender).depth, 1);
+        assert_eq!(s.workers[0].role, WorkerRole::Shard);
+        r.reset();
+        assert_eq!(r.snapshot().counter(Counter::ChunksCdc), 0);
+    }
+
+    #[test]
+    fn tracing_buffers_complete_events() {
+        let r = Recorder::new();
+        assert!(r.trace_start().is_none(), "tracing off by default");
+        r.enable_tracing();
+        let t = r.trace_start();
+        std::thread::sleep(Duration::from_millis(1));
+        r.trace_complete("span", t);
+        let evs = r.drain_trace();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].name, "span");
+        assert!(evs[0].dur_ns >= 1_000_000);
+    }
+}

@@ -19,6 +19,8 @@
 //! * [`cloud`] — simulated cloud object store, WAN model and S3-style cost
 //!   accounting.
 //! * [`metrics`] — dedup efficiency, backup-window, cost and energy models.
+//! * [`obs`] — structured tracing, per-stage latency histograms and
+//!   pipeline profiling for the backup engine.
 //! * [`workload`] — synthetic PC backup workload generator calibrated to the
 //!   paper's published dataset statistics.
 //! * [`core`] — the AA-Dedupe engine itself (file size filter, intelligent
@@ -53,4 +55,5 @@ pub use aadedupe_filetype as filetype;
 pub use aadedupe_hashing as hashing;
 pub use aadedupe_index as index;
 pub use aadedupe_metrics as metrics;
+pub use aadedupe_obs as obs;
 pub use aadedupe_workload as workload;

@@ -1,0 +1,174 @@
+//! Integration tests for the observability subsystem wired through the
+//! engine: stage stats must reconcile with `SessionReport` aggregates,
+//! `dedup_cpu` must equal the sum of its stage parts, and turning the
+//! recorder on must not perturb serial↔parallel determinism.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use aa_dedupe::cloud::CloudSim;
+use aa_dedupe::core::{AaDedupe, AaDedupeConfig, BackupScheme, PipelineConfig, PipelineMode};
+use aa_dedupe::metrics::SessionReport;
+use aa_dedupe::obs::{Counter, Recorder, Snapshot as ObsSnapshot, Stage};
+use aa_dedupe::workload::{DatasetSpec, Generator, Snapshot};
+
+fn config(workers: usize, serial: bool, recorder: Option<Arc<Recorder>>) -> AaDedupeConfig {
+    let mode = if serial { PipelineMode::Serial } else { PipelineMode::Parallel };
+    let mut config = AaDedupeConfig {
+        pipeline: PipelineConfig { workers, queue_depth: 4, mode },
+        ..AaDedupeConfig::default()
+    };
+    if let Some(rec) = recorder {
+        config.recorder = rec;
+    }
+    config
+}
+
+fn dataset(sessions: usize) -> Vec<Snapshot> {
+    let mut generator = Generator::new(DatasetSpec::tiny_test(), 77);
+    (0..sessions).map(|w| generator.snapshot(w)).collect()
+}
+
+fn run(config: AaDedupeConfig, snaps: &[Snapshot]) -> (AaDedupe, Vec<SessionReport>) {
+    let mut engine = AaDedupe::with_config(CloudSim::with_paper_defaults(), config);
+    let reports = snaps
+        .iter()
+        .map(|s| engine.backup_session(&s.as_sources()).expect("backup"))
+        .collect();
+    (engine, reports)
+}
+
+/// Stage stats and per-AppType hit/miss counters must reconcile with the
+/// session report, on both engine paths.
+#[test]
+fn stage_stats_reconcile_with_session_report() {
+    for serial in [true, false] {
+        let rec = Recorder::shared();
+        let snaps = dataset(2);
+        let (_, reports) = run(config(4, serial, Some(Arc::clone(&rec))), &snaps);
+        let snap = rec.snapshot();
+        let label = if serial { "serial" } else { "parallel" };
+
+        // The hot pipeline stages all measured real work.
+        for stage in [Stage::Classify, Stage::Chunk, Stage::Hash, Stage::Index, Stage::Upload] {
+            assert!(snap.stage(stage).hist.count > 0, "{label}: stage {} idle", stage.name());
+        }
+
+        // Lifetime identities across both sessions. Every non-tiny chunk
+        // does exactly one index lookup; hits split into duplicate chunks
+        // minus tiny files carried forward by the packer (which count as
+        // duplicates in the report but never touch the index).
+        let chunks: u64 = reports.iter().map(|r| r.chunks_total).sum();
+        let dups: u64 = reports.iter().map(|r| r.chunks_duplicate).sum();
+        let tiny: u64 = reports.iter().map(|r| r.files_tiny).sum();
+        let files: u64 = reports.iter().map(|r| r.files_total).sum();
+        assert_eq!(
+            snap.index_hits() + snap.index_misses(),
+            chunks - tiny,
+            "{label}: lookups vs chunks"
+        );
+        assert_eq!(
+            snap.index_hits(),
+            dups - snap.counter(Counter::TinyCarried),
+            "{label}: hits vs duplicates"
+        );
+        assert_eq!(snap.counter(Counter::FilesClassified), files, "{label}: files");
+        // Unchanged tiny files are carried forward by reference, not
+        // re-packed: packed + carried covers every tiny sighting.
+        assert_eq!(
+            snap.counter(Counter::TinyPacked) + snap.counter(Counter::TinyCarried),
+            tiny,
+            "{label}: tiny packed+carried"
+        );
+        let chunk_count = snap.counter(Counter::ChunksCdc)
+            + snap.counter(Counter::ChunksSc)
+            + snap.counter(Counter::ChunksWfc);
+        assert_eq!(chunk_count, chunks - tiny, "{label}: chunker output");
+        assert_eq!(
+            snap.counter(Counter::IndexDiskProbes),
+            reports.iter().map(|r| r.index_disk_reads).sum::<u64>(),
+            "{label}: disk probes"
+        );
+        assert_eq!(
+            snap.counter(Counter::UploadBytes),
+            reports.iter().map(|r| r.transferred_bytes).sum::<u64>(),
+            "{label}: uploaded bytes"
+        );
+    }
+}
+
+/// With the recorder on, `dedup_cpu` is defined as the sum of the stage
+/// parts — exactly, not approximately.
+#[test]
+fn dedup_cpu_is_sum_of_stage_parts() {
+    let rec = Recorder::shared();
+    let snaps = dataset(2);
+    let (_, reports) = run(config(2, false, Some(rec)), &snaps);
+    for r in &reports {
+        let stage = r.stage_cpu.unwrap_or_else(|| panic!("session {}: no stage_cpu", r.session));
+        assert_eq!(r.dedup_cpu, stage.total(), "session {}", r.session);
+        assert!(stage.source_read > std::time::Duration::ZERO, "session {}", r.session);
+        assert!(stage.chunk + stage.hash > std::time::Duration::ZERO, "session {}", r.session);
+    }
+}
+
+/// With the default (disabled) recorder nothing is recorded and the report
+/// keeps the legacy clock-derived `dedup_cpu`.
+#[test]
+fn disabled_recorder_records_nothing() {
+    let rec = Recorder::shared_disabled();
+    let snaps = dataset(1);
+    let (_, reports) = run(config(2, false, Some(Arc::clone(&rec))), &snaps);
+    assert!(reports[0].stage_cpu.is_none());
+    assert!(!reports[0].dedup_cpu.is_zero(), "legacy clock still charges time");
+    let snap = rec.snapshot();
+    for stage in Stage::ALL {
+        assert_eq!(snap.stage(stage).hist.count, 0, "stage {}", stage.name());
+    }
+    assert_eq!(snap.counter(Counter::FilesClassified), 0);
+    assert_eq!(snap.index_hits() + snap.index_misses(), 0);
+}
+
+/// Everything deterministic about the cloud state, with observability ON
+/// for both engines. Recording must never influence chunking, dedup
+/// decisions, packing or upload order.
+#[test]
+fn differential_serial_parallel_with_observability_enabled() {
+    fn observe(config: AaDedupeConfig, snaps: &[Snapshot]) -> BTreeMap<String, Vec<u8>> {
+        let (engine, _) = run(config, snaps);
+        let store = engine.cloud().store();
+        store.list("").into_iter().map(|k| {
+            let bytes = store.get(&k).expect("listed key present");
+            (k, bytes)
+        }).collect()
+    }
+    let snaps = dataset(2);
+    let serial = observe(config(1, true, Some(Recorder::shared())), &snaps);
+    for workers in [1, 4] {
+        let parallel = observe(config(workers, false, Some(Recorder::shared())), &snaps);
+        assert_eq!(serial.len(), parallel.len(), "workers={workers}: object count");
+        for (key, bytes) in &serial {
+            assert_eq!(bytes, &parallel[key], "workers={workers}: cloud object {key}");
+        }
+    }
+}
+
+/// Per-session deltas: a second snapshot minus the first must describe
+/// exactly the second session's work.
+#[test]
+fn snapshot_delta_isolates_a_session() {
+    let rec = Recorder::shared();
+    let snaps = dataset(2);
+    let mut engine =
+        AaDedupe::with_config(CloudSim::with_paper_defaults(), config(1, true, Some(Arc::clone(&rec))));
+    engine.backup_session(&snaps[0].as_sources()).expect("backup 0");
+    let mid: ObsSnapshot = rec.snapshot();
+    let r1 = engine.backup_session(&snaps[1].as_sources()).expect("backup 1");
+    let delta = rec.snapshot().delta_since(&mid);
+    assert_eq!(delta.counter(Counter::FilesClassified), r1.files_total);
+    assert_eq!(delta.counter(Counter::UploadBytes), r1.transferred_bytes);
+    assert_eq!(
+        delta.index_hits() + delta.index_misses(),
+        r1.chunks_total - r1.files_tiny
+    );
+}
