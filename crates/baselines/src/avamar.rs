@@ -134,7 +134,7 @@ impl BackupScheme for Avamar {
 
         // Every byte of the dataset is read once from the source disk.
         clock.charge_source_read(report.logical_bytes);
-        ship_session(&self.cloud, &mut self.containers, SCHEME_KEY, &manifest, &mut report);
+        ship_session(&self.cloud, &mut self.containers, SCHEME_KEY, &manifest, &mut report)?;
         report.dedup_cpu = clock.total();
         self.sessions += 1;
         Ok(report)

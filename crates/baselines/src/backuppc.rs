@@ -112,7 +112,7 @@ impl BackupScheme for BackupPc {
 
         // Every byte of the dataset is read once from the source disk.
         clock.charge_source_read(report.logical_bytes);
-        ship_session(&self.cloud, &mut self.containers, SCHEME_KEY, &manifest, &mut report);
+        ship_session(&self.cloud, &mut self.containers, SCHEME_KEY, &manifest, &mut report)?;
         report.dedup_cpu = clock.total();
         self.sessions += 1;
         Ok(report)

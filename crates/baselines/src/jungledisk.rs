@@ -104,7 +104,7 @@ impl BackupScheme for JungleDisk {
         clock.charge_source_read(report.logical_bytes);
         self.seen = next_seen;
 
-        ship_session(&self.cloud, &mut self.containers, SCHEME_KEY, &manifest, &mut report);
+        ship_session(&self.cloud, &mut self.containers, SCHEME_KEY, &manifest, &mut report)?;
         report.dedup_cpu = clock.total();
         self.sessions += 1;
         Ok(report)

@@ -22,7 +22,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use aadedupe_cloud::{CloudSim, FsObjectStore, PriceModel, WanModel};
-use aadedupe_core::{AaDedupe, AaDedupeConfig, BackupScheme, PipelineConfig};
+use aadedupe_core::{AaDedupe, AaDedupeConfig, BackupScheme, PipelineConfig, RetryPolicy};
 use aadedupe_obs::Recorder;
 
 use source::walk_directory;
@@ -116,6 +116,9 @@ fn open_engine(
     );
     let mut config = AaDedupeConfig {
         pipeline: PipelineConfig::with_workers(workers),
+        // Against a real disk, backoff should really wait, not just be
+        // charged to the simulated clock.
+        retry: RetryPolicy { sleep: true, ..RetryPolicy::default() },
         ..AaDedupeConfig::default()
     };
     if let Some(rec) = recorder {
@@ -135,6 +138,12 @@ fn cmd_backup(repo: &Path, src: &Path, workers: usize, obs: &ObsArgs) -> Result<
         None
     };
     let mut engine = open_engine(repo, workers, rec.clone())?;
+    if engine.orphans_swept() > 0 {
+        println!(
+            "swept {} orphaned container(s) left by an interrupted backup",
+            engine.orphans_swept()
+        );
+    }
     let files =
         walk_directory(src).map_err(|e| format!("cannot walk source {src:?}: {e}"))?;
     let sources: Vec<&dyn aadedupe_filetype::SourceFile> =

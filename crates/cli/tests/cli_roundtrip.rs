@@ -158,3 +158,25 @@ fn bad_usage_exits_nonzero() {
     let (ok, _) = run(&["restore", "--repo", "/nonexistent-hopefully", "notanumber", "/tmp"]);
     assert!(!ok);
 }
+
+#[test]
+fn backup_fails_loudly_when_the_repo_cannot_store_objects() {
+    // Regression test for the silent-data-loss bug: plant a regular file
+    // where the store needs the `aa-dedupe` directory, so every container
+    // put fails. The old code ignored write errors and reported a
+    // successful session over a repository holding nothing.
+    let dirs = Dirs::new("blocked");
+    fs::write(dirs.src().join("report.doc"), b"words ".repeat(5000)).unwrap();
+    fs::write(dirs.repo().join("aa-dedupe"), b"not a directory").unwrap();
+
+    let repo = dirs.repo();
+    let (ok, out) =
+        run(&["backup", "--repo", repo.to_str().unwrap(), dirs.src().to_str().unwrap()]);
+    assert!(!ok, "backup must exit non-zero when uploads fail, got: {out}");
+    assert!(out.contains("backup failed"), "{out}");
+    assert!(out.contains("put"), "error should name the failing operation: {out}");
+    // Nothing half-committed: no manifest means no restorable session.
+    let (ok, out) = run(&["sessions", "--repo", repo.to_str().unwrap()]);
+    assert!(ok, "{out}");
+    assert!(out.contains("no sessions"), "{out}");
+}

@@ -14,12 +14,14 @@
 //!   time and accumulates billable usage.
 
 pub mod backend;
+pub mod fault;
 pub mod fsstore;
 pub mod objectstore;
 pub mod pricing;
 pub mod wan;
 
-pub use backend::ObjectBackend;
+pub use backend::{BackendError, BackendOp, ObjectBackend};
+pub use fault::{FaultInjectingBackend, FaultPlan, FaultRule};
 pub use fsstore::FsObjectStore;
 pub use objectstore::{ObjectStore, ObjectStoreStats};
 pub use pricing::{CostBreakdown, PriceModel, BYTES_PER_GB};
@@ -60,30 +62,37 @@ impl CloudSim {
     }
 
     /// Uploads an object; returns the simulated transfer time (also added
-    /// to the simulated clock).
-    pub fn put(&self, key: &str, bytes: Vec<u8>) -> Duration {
+    /// to the simulated clock). A failed attempt still consumes the link
+    /// time — the bytes travelled, the backend just didn't keep them.
+    pub fn put(&self, key: &str, bytes: Vec<u8>) -> Result<Duration, BackendError> {
         let t = self.wan.upload_time(bytes.len() as u64);
-        self.store.put(key, bytes);
         *self.clock.lock() += t;
-        t
+        self.store.put(key, bytes)?;
+        Ok(t)
     }
 
     /// Downloads an object; returns its bytes and the simulated transfer
-    /// time (misses cost one request overhead).
-    pub fn get(&self, key: &str) -> (Option<Vec<u8>>, Duration) {
+    /// time (misses and failures cost one request overhead).
+    pub fn get(&self, key: &str) -> Result<(Option<Vec<u8>>, Duration), BackendError> {
         let out = self.store.get(key);
         let t = match &out {
-            Some(b) => self.wan.download_time(b.len() as u64),
-            None => self.wan.per_request_overhead,
+            Ok(Some(b)) => self.wan.download_time(b.len() as u64),
+            Ok(None) | Err(_) => self.wan.per_request_overhead,
         };
         *self.clock.lock() += t;
-        (out, t)
+        Ok((out?, t))
     }
 
     /// Deletes an object (request overhead only).
-    pub fn delete(&self, key: &str) -> bool {
+    pub fn delete(&self, key: &str) -> Result<bool, BackendError> {
         *self.clock.lock() += self.wan.per_request_overhead;
         self.store.delete(key)
+    }
+
+    /// Charges extra wall-clock to the simulated transfer clock (retry
+    /// backoff waits, for instance, count toward the backup window).
+    pub fn charge(&self, d: Duration) {
+        *self.clock.lock() += d;
     }
 
     /// The underlying object backend (for inspection and failure
@@ -132,7 +141,7 @@ mod tests {
     fn put_advances_clock_by_transfer_time() {
         let cloud = CloudSim::with_paper_defaults();
         let payload = vec![0u8; 500 * 1024]; // exactly 1 s at 500 KB/s
-        let t = cloud.put("c/1", payload);
+        let t = cloud.put("c/1", payload).unwrap();
         assert!((t.as_secs_f64() - 1.03).abs() < 1e-9);
         assert_eq!(cloud.elapsed(), t);
     }
@@ -140,11 +149,11 @@ mod tests {
     #[test]
     fn get_round_trip() {
         let cloud = CloudSim::with_paper_defaults();
-        cloud.put("k", vec![1, 2, 3]);
-        let (data, t) = cloud.get("k");
+        cloud.put("k", vec![1, 2, 3]).unwrap();
+        let (data, t) = cloud.get("k").unwrap();
         assert_eq!(data, Some(vec![1, 2, 3]));
         assert!(t >= Duration::from_millis(30));
-        let (missing, tm) = cloud.get("nope");
+        let (missing, tm) = cloud.get("nope").unwrap();
         assert_eq!(missing, None);
         assert_eq!(tm, Duration::from_millis(30));
     }
@@ -152,8 +161,8 @@ mod tests {
     #[test]
     fn monthly_cost_reflects_usage() {
         let cloud = CloudSim::with_paper_defaults();
-        cloud.put("a", vec![0u8; 1 << 20]);
-        cloud.put("b", vec![0u8; 1 << 20]);
+        cloud.put("a", vec![0u8; 1 << 20]).unwrap();
+        cloud.put("b", vec![0u8; 1 << 20]).unwrap();
         let c = cloud.monthly_cost();
         // 2 MiB stored + uploaded, 2 requests.
         let gb = 2.0 / 1024.0;
@@ -166,15 +175,15 @@ mod tests {
     fn clones_share_state() {
         let cloud = CloudSim::with_paper_defaults();
         let clone = cloud.clone();
-        clone.put("shared", vec![9]);
-        assert_eq!(cloud.get("shared").0, Some(vec![9]));
+        clone.put("shared", vec![9]).unwrap();
+        assert_eq!(cloud.get("shared").unwrap().0, Some(vec![9]));
         assert!(cloud.elapsed() > Duration::ZERO);
     }
 
     #[test]
     fn reset_clock() {
         let cloud = CloudSim::with_paper_defaults();
-        cloud.put("x", vec![0u8; 1024]);
+        cloud.put("x", vec![0u8; 1024]).unwrap();
         assert!(cloud.elapsed() > Duration::ZERO);
         cloud.reset_clock();
         assert_eq!(cloud.elapsed(), Duration::ZERO);
@@ -185,10 +194,10 @@ mod tests {
     #[test]
     fn delete_costs_a_request() {
         let cloud = CloudSim::with_paper_defaults();
-        cloud.put("x", vec![1]);
+        cloud.put("x", vec![1]).unwrap();
         cloud.reset_clock();
-        assert!(cloud.delete("x"));
+        assert!(cloud.delete("x").unwrap());
         assert_eq!(cloud.elapsed(), Duration::from_millis(30));
-        assert!(!cloud.delete("x"));
+        assert!(!cloud.delete("x").unwrap());
     }
 }

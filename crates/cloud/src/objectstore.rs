@@ -7,6 +7,8 @@
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 
+use crate::backend::BackendError;
+
 /// Per-operation accounting counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ObjectStoreStats {
@@ -52,30 +54,35 @@ impl ObjectStore {
         }
     }
 
-    /// Stores `bytes` under `key`, replacing any previous object.
-    pub fn put(&self, key: &str, bytes: Vec<u8>) {
+    /// Stores `bytes` under `key`, replacing any previous object. Memory
+    /// never fails, but the signature matches [`ObjectBackend`] so callers
+    /// written against the trait handle errors uniformly.
+    ///
+    /// [`ObjectBackend`]: crate::backend::ObjectBackend
+    pub fn put(&self, key: &str, bytes: Vec<u8>) -> Result<(), BackendError> {
         let mut g = self.inner.write();
         g.stats.put_requests += 1;
         g.stats.bytes_in += bytes.len() as u64;
         g.objects.insert(key.to_owned(), bytes);
+        Ok(())
     }
 
     /// Fetches the object at `key`.
-    pub fn get(&self, key: &str) -> Option<Vec<u8>> {
+    pub fn get(&self, key: &str) -> Result<Option<Vec<u8>>, BackendError> {
         let mut g = self.inner.write();
         g.stats.get_requests += 1;
         let out = g.objects.get(key).cloned();
         if let Some(o) = &out {
             g.stats.bytes_out += o.len() as u64;
         }
-        out
+        Ok(out)
     }
 
     /// Deletes the object at `key`; returns whether it existed.
-    pub fn delete(&self, key: &str) -> bool {
+    pub fn delete(&self, key: &str) -> Result<bool, BackendError> {
         let mut g = self.inner.write();
         g.stats.delete_requests += 1;
-        g.objects.remove(key).is_some()
+        Ok(g.objects.remove(key).is_some())
     }
 
     /// True if an object exists at `key` (not counted as a request).
@@ -125,15 +132,15 @@ impl ObjectStore {
 }
 
 impl crate::backend::ObjectBackend for ObjectStore {
-    fn put(&self, key: &str, bytes: Vec<u8>) {
+    fn put(&self, key: &str, bytes: Vec<u8>) -> Result<(), BackendError> {
         ObjectStore::put(self, key, bytes)
     }
 
-    fn get(&self, key: &str) -> Option<Vec<u8>> {
+    fn get(&self, key: &str) -> Result<Option<Vec<u8>>, BackendError> {
         ObjectStore::get(self, key)
     }
 
-    fn delete(&self, key: &str) -> bool {
+    fn delete(&self, key: &str) -> Result<bool, BackendError> {
         ObjectStore::delete(self, key)
     }
 
@@ -169,20 +176,20 @@ mod tests {
     #[test]
     fn put_get_delete_cycle() {
         let s = ObjectStore::new();
-        s.put("a/1", vec![1, 2, 3]);
-        assert_eq!(s.get("a/1"), Some(vec![1, 2, 3]));
+        s.put("a/1", vec![1, 2, 3]).unwrap();
+        assert_eq!(s.get("a/1").unwrap(), Some(vec![1, 2, 3]));
         assert!(s.contains("a/1"));
-        assert!(s.delete("a/1"));
-        assert!(!s.delete("a/1"));
-        assert_eq!(s.get("a/1"), None);
+        assert!(s.delete("a/1").unwrap());
+        assert!(!s.delete("a/1").unwrap());
+        assert_eq!(s.get("a/1").unwrap(), None);
     }
 
     #[test]
     fn put_replaces() {
         let s = ObjectStore::new();
-        s.put("k", vec![1]);
-        s.put("k", vec![2, 3]);
-        assert_eq!(s.get("k"), Some(vec![2, 3]));
+        s.put("k", vec![1]).unwrap();
+        s.put("k", vec![2, 3]).unwrap();
+        assert_eq!(s.get("k").unwrap(), Some(vec![2, 3]));
         assert_eq!(s.object_count(), 1);
         assert_eq!(s.stored_bytes(), 2);
     }
@@ -190,9 +197,9 @@ mod tests {
     #[test]
     fn listing_is_prefix_filtered_and_ordered() {
         let s = ObjectStore::new();
-        s.put("containers/2", vec![]);
-        s.put("containers/1", vec![]);
-        s.put("index/snap", vec![]);
+        s.put("containers/2", vec![]).unwrap();
+        s.put("containers/1", vec![]).unwrap();
+        s.put("index/snap", vec![]).unwrap();
         assert_eq!(s.list("containers/"), vec!["containers/1", "containers/2"]);
         assert_eq!(s.list(""), vec!["containers/1", "containers/2", "index/snap"]);
         assert!(s.list("zzz").is_empty());
@@ -201,11 +208,11 @@ mod tests {
     #[test]
     fn accounting() {
         let s = ObjectStore::new();
-        s.put("a", vec![0u8; 100]);
-        s.put("b", vec![0u8; 50]);
-        s.get("a");
-        s.get("missing");
-        s.delete("b");
+        s.put("a", vec![0u8; 100]).unwrap();
+        s.put("b", vec![0u8; 50]).unwrap();
+        s.get("a").unwrap();
+        s.get("missing").unwrap();
+        s.delete("b").unwrap();
         let st = s.stats();
         assert_eq!(st.put_requests, 2);
         assert_eq!(st.get_requests, 2);
@@ -218,9 +225,9 @@ mod tests {
     #[test]
     fn corruption_injection() {
         let s = ObjectStore::new();
-        s.put("x", vec![0u8; 10]);
+        s.put("x", vec![0u8; 10]).unwrap();
         assert!(s.corrupt("x", 3));
-        assert_eq!(s.get("x").unwrap()[3], 0xff);
+        assert_eq!(s.get("x").unwrap().unwrap()[3], 0xff);
         assert!(!s.corrupt("missing", 0));
     }
 }

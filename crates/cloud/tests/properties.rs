@@ -35,12 +35,12 @@ proptest! {
                 Op::Put(k, v) => {
                     puts += 1;
                     bytes_in += v.len() as u64;
-                    store.put(&format!("k/{k}"), v.clone());
+                    store.put(&format!("k/{k}"), v.clone()).unwrap();
                     model.insert(k, v);
                 }
                 Op::Get(k) => {
                     gets += 1;
-                    let got = store.get(&format!("k/{k}"));
+                    let got = store.get(&format!("k/{k}")).unwrap();
                     if let Some(v) = &got {
                         bytes_out += v.len() as u64;
                     }
@@ -48,7 +48,7 @@ proptest! {
                 }
                 Op::Delete(k) => {
                     dels += 1;
-                    prop_assert_eq!(store.delete(&format!("k/{k}")), model.remove(&k).is_some());
+                    prop_assert_eq!(store.delete(&format!("k/{k}")).unwrap(), model.remove(&k).is_some());
                 }
             }
         }
@@ -67,7 +67,7 @@ proptest! {
     fn listing_sorted_and_filtered(keys in proptest::collection::vec("[a-c]/[a-z]{1,4}", 0..30)) {
         let store = ObjectStore::new();
         for k in &keys {
-            store.put(k, vec![]);
+            store.put(k, vec![]).unwrap();
         }
         for prefix in ["a/", "b/", "c/", ""] {
             let listed = store.list(prefix);
@@ -108,7 +108,7 @@ proptest! {
         let cloud = CloudSim::with_paper_defaults();
         let mut expected = std::time::Duration::ZERO;
         for (i, n) in payloads.iter().enumerate() {
-            expected += cloud.put(&format!("o/{i}"), vec![0u8; *n]);
+            expected += cloud.put(&format!("o/{i}"), vec![0u8; *n]).unwrap();
         }
         prop_assert_eq!(cloud.elapsed(), expected);
     }

@@ -56,6 +56,7 @@ use aadedupe_obs::{Counter, Queue, Recorder, Snapshot, Stage, WorkerRole};
 
 use crate::recipe::{ChunkRef, FileRecipe, Manifest};
 use crate::restore::{container_key, restore_session, RestoredFile};
+use crate::retry::RetryPolicy;
 use crate::scheme::{BackupError, BackupScheme};
 use crate::timing::{DedupClock, DISK_SEEK, SOURCE_READ_BPS};
 
@@ -127,6 +128,8 @@ pub struct AaDedupeConfig {
     pub index_sync_interval: usize,
     /// Backup pipeline worker-pool settings.
     pub pipeline: PipelineConfig,
+    /// Upload retry/backoff policy for transient backend failures.
+    pub retry: RetryPolicy,
     /// Cloud namespace prefix for this engine's objects.
     pub scheme_key: String,
     /// Observability sink shared by the engine, index, container store and
@@ -147,6 +150,7 @@ impl Default for AaDedupeConfig {
             ram_entries_per_partition: 1 << 18,
             index_sync_interval: 1,
             pipeline: PipelineConfig::default(),
+            retry: RetryPolicy::default(),
             scheme_key: "aa-dedupe".into(),
             recorder: Recorder::shared_disabled(),
         }
@@ -173,6 +177,13 @@ pub struct AaDedupe {
     /// Not persisted: after [`AaDedupe::open`] the first session re-packs
     /// tiny files once.
     tiny_seen: HashMap<String, (u64, ChunkRef)>,
+    /// Set when a session failed mid-upload: the in-memory index may then
+    /// reference chunks that never reached the cloud, so further backups
+    /// from this instance are refused (reopen from the cloud instead).
+    poisoned: Option<String>,
+    /// Containers garbage-collected by the orphan sweep in
+    /// [`AaDedupe::open`].
+    orphans_swept: u64,
 }
 
 /// The result of chunk+hash over one file.
@@ -393,6 +404,8 @@ impl AaDedupe {
             sessions: 0,
             container_live: HashMap::new(),
             tiny_seen: HashMap::new(),
+            poisoned: None,
+            orphans_swept: 0,
             cloud,
             config,
         }
@@ -409,7 +422,7 @@ impl AaDedupe {
         let manifest_keys = engine.cloud.store().list(&prefix);
         let mut max_session: Option<u64> = None;
         for key in &manifest_keys {
-            let (bytes, _t) = engine.cloud.get(key);
+            let (bytes, _t) = engine.cloud.get(key)?;
             let bytes = bytes.ok_or_else(|| BackupError::MissingObject(key.clone()))?;
             let manifest = Manifest::decode(&bytes)?;
             max_session = Some(max_session.map_or(manifest.session, |m| m.max(manifest.session)));
@@ -426,8 +439,45 @@ impl AaDedupe {
             }
         }
         engine.sessions = max_session.map_or(0, |m| m as usize + 1);
+        // Resume ids over *everything* in the namespace — orphans included —
+        // before sweeping, so a resumed engine never re-mints an id that was
+        // ever visible in the cloud.
         engine.resume_container_ids();
+        engine.sweep_orphan_containers()?;
         Ok(engine)
+    }
+
+    /// Garbage-collects containers no manifest references — the leftovers
+    /// of sessions that crashed after uploading containers but before the
+    /// manifest (the commit point) landed. Safe by construction: a
+    /// container becomes reachable only through a committed manifest, and
+    /// every committed manifest's containers are in `container_live`.
+    fn sweep_orphan_containers(&mut self) -> Result<(), BackupError> {
+        let prefix = format!("{}/containers/", self.config.scheme_key);
+        for key in self.cloud.store().list(&prefix) {
+            let referenced = key
+                .rsplit('/')
+                .next()
+                .and_then(|s| s.parse::<u64>().ok())
+                .is_some_and(|id| self.container_live.contains_key(&id));
+            if !referenced {
+                self.cloud.delete(&key)?;
+                self.orphans_swept += 1;
+            }
+        }
+        self.config.recorder.count(Counter::OrphansSwept, self.orphans_swept);
+        Ok(())
+    }
+
+    /// Containers the orphan sweep removed when this engine was opened.
+    pub fn orphans_swept(&self) -> u64 {
+        self.orphans_swept
+    }
+
+    /// Whether this engine instance refuses further backups because a
+    /// previous session failed mid-upload.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.is_some()
     }
 
     /// Advances every stream's container sequence past its containers in
@@ -788,7 +838,7 @@ impl AaDedupe {
     /// last live chunk disappears (the background deletion process of
     /// §III.F). Tiny-file chunks are unindexed, so their container slots
     /// are released directly.
-    fn release_manifest(&mut self, manifest: &Manifest) {
+    fn release_manifest(&mut self, manifest: &Manifest) -> Result<(), BackupError> {
         for f in &manifest.files {
             for c in &f.chunks {
                 if !f.tiny {
@@ -803,21 +853,22 @@ impl AaDedupe {
                 *live = live.saturating_sub(1);
                 if *live == 0 {
                     self.container_live.remove(&c.container);
-                    self.cloud.delete(&container_key(&self.config.scheme_key, c.container));
+                    self.cloud.delete(&container_key(&self.config.scheme_key, c.container))?;
                 }
             }
         }
+        Ok(())
     }
 
     /// Deletes a past session: removes its manifest and reclaims any
     /// containers left without live references.
     pub fn delete_session(&mut self, session: usize) -> Result<(), BackupError> {
         let key = Manifest::key(&self.config.scheme_key, session as u64);
-        let (bytes, _t) = self.cloud.get(&key);
+        let (bytes, _t) = self.cloud.get(&key)?;
         let bytes = bytes.ok_or(BackupError::UnknownSession(session))?;
         let manifest = Manifest::decode(&bytes)?;
-        self.release_manifest(&manifest);
-        self.cloud.delete(&key);
+        self.release_manifest(&manifest)?;
+        self.cloud.delete(&key)?;
         Ok(())
     }
 
@@ -828,13 +879,59 @@ impl AaDedupe {
         let latest = keys.last().ok_or_else(|| {
             BackupError::MissingObject(format!("{}/index/*", self.config.scheme_key))
         })?;
-        let (bytes, _t) = self.cloud.get(latest);
+        let (bytes, _t) = self.cloud.get(latest)?;
         let bytes = bytes.ok_or_else(|| BackupError::MissingObject(latest.clone()))?;
         self.index = codec::decode_app_aware(&bytes, self.config.ram_entries_per_partition)
             .map_err(|e| BackupError::Corrupt(format!("index snapshot: {e}")))?;
         self.index.set_recorder(Arc::clone(&self.config.recorder));
+        // The session counter must survive the disaster too: continue after
+        // the last committed manifest, exactly as `open` does. Without this
+        // the next backup would reuse session 0 and clobber its manifest.
+        self.sessions = self.list_sessions().into_iter().max().map_or(0, |m| m + 1);
         self.resume_container_ids();
         Ok(())
+    }
+}
+
+impl AaDedupe {
+    /// Uploads one object, retrying transient failures under the
+    /// configured [`RetryPolicy`] and per-session retry `budget`. Backoff
+    /// is charged to the simulated transfer clock (and optionally slept);
+    /// `op_seq` feeds the deterministic jitter. Exhausting the attempts or
+    /// the budget, or any permanent failure, counts an upload give-up and
+    /// surfaces the backend error.
+    fn put_with_retry(
+        &self,
+        key: &str,
+        bytes: &[u8],
+        budget: &mut u32,
+        op_seq: u64,
+    ) -> Result<(), BackupError> {
+        let rec = &self.config.recorder;
+        let policy = &self.config.retry;
+        let mut attempt = 1u32;
+        loop {
+            match self.cloud.put(key, bytes.to_vec()) {
+                Ok(_t) => return Ok(()),
+                Err(e) if e.transient && attempt < policy.max_attempts.max(1) && *budget > 0 => {
+                    *budget -= 1;
+                    rec.count(Counter::UploadRetries, 1);
+                    let wait = policy.backoff(attempt, op_seq);
+                    self.cloud.charge(wait);
+                    if policy.sleep && !wait.is_zero() {
+                        std::thread::sleep(wait);
+                    }
+                    attempt += 1;
+                }
+                Err(e) => {
+                    rec.count(Counter::UploadGiveups, 1);
+                    return Err(BackupError::Cloud(format!(
+                        "{e} (attempt {attempt} of {})",
+                        policy.max_attempts.max(1)
+                    )));
+                }
+            }
+        }
     }
 }
 
@@ -847,6 +944,9 @@ impl BackupScheme for AaDedupe {
         &mut self,
         files: &[&dyn SourceFile],
     ) -> Result<SessionReport, BackupError> {
+        if let Some(why) = &self.poisoned {
+            return Err(BackupError::Poisoned(why.clone()));
+        }
         let mut report = SessionReport::new(self.name(), self.sessions);
         let mut clock = DedupClock::new();
         let rec = Arc::clone(&self.config.recorder);
@@ -861,29 +961,47 @@ impl BackupScheme for AaDedupe {
         // Every byte of the dataset is read once from the source disk.
         clock.charge_source_read(report.logical_bytes);
 
-        // Ship containers in id order, so the upload sequence does not
-        // depend on stream sealing order (HashMap iteration, pipeline
-        // interleaving).
+        // Commit protocol: containers first (in id order, so the upload
+        // sequence does not depend on stream sealing order), then the
+        // manifest — the commit point — then the index snapshot. A crash
+        // before the manifest leaves only orphan containers, which the
+        // sweep in `open` reclaims; a crash after it leaves a fully
+        // restorable session.
         self.containers.seal_all();
         let mut sealed = self.containers.drain_sealed();
         sealed.sort_by_key(|s| s.id);
         let upload_span = rec.trace_start();
+        let mut retry_budget = self.config.retry.session_retry_budget;
+        let mut upload_seq = 0u64;
         for sealed in sealed {
             let uploading = rec.start();
             let key = container_key(&self.config.scheme_key, sealed.id);
             report.transferred_bytes += sealed.bytes.len() as u64;
             rec.count(Counter::UploadBytes, sealed.bytes.len() as u64);
             rec.count(Counter::UploadObjects, 1);
-            self.cloud.put(&key, sealed.bytes);
+            upload_seq += 1;
+            if let Err(e) = self.put_with_retry(&key, &sealed.bytes, &mut retry_budget, upload_seq)
+            {
+                // The in-memory index already references this session's
+                // chunks; some never reached the cloud. Refuse further
+                // backups from this instance.
+                self.poisoned = Some(format!("container upload failed: {e}"));
+                return Err(e);
+            }
             rec.record(Stage::Upload, uploading);
         }
-        // Ship the manifest.
+        // Ship the manifest — the commit point.
         let uploading = rec.start();
         let mbytes = manifest.encode();
         report.transferred_bytes += mbytes.len() as u64;
         rec.count(Counter::UploadBytes, mbytes.len() as u64);
         rec.count(Counter::UploadObjects, 1);
-        self.cloud.put(&Manifest::key(&self.config.scheme_key, manifest.session), mbytes);
+        upload_seq += 1;
+        let mkey = Manifest::key(&self.config.scheme_key, manifest.session);
+        if let Err(e) = self.put_with_retry(&mkey, &mbytes, &mut retry_budget, upload_seq) {
+            self.poisoned = Some(format!("manifest upload failed: {e}"));
+            return Err(e);
+        }
         rec.record(Stage::Upload, uploading);
         // Periodic index synchronisation.
         if self.config.index_sync_interval > 0
@@ -894,10 +1012,18 @@ impl BackupScheme for AaDedupe {
             report.transferred_bytes += snap.len() as u64;
             rec.count(Counter::UploadBytes, snap.len() as u64);
             rec.count(Counter::UploadObjects, 1);
-            self.cloud.put(
-                &format!("{}/index/{:08}", self.config.scheme_key, self.sessions),
-                snap,
-            );
+            upload_seq += 1;
+            let skey = format!("{}/index/{:08}", self.config.scheme_key, self.sessions);
+            if let Err(e) = self.put_with_retry(&skey, &snap, &mut retry_budget, upload_seq) {
+                // The manifest is committed, so the session is durable and
+                // the engine's state matches the cloud; the snapshot is only
+                // a recovery accelerator. Count the session and surface the
+                // failure without poisoning.
+                self.sessions += 1;
+                return Err(BackupError::Cloud(format!(
+                    "session committed, but index snapshot upload failed: {e}"
+                )));
+            }
             rec.record(Stage::Upload, uploading);
         }
         rec.trace_complete("upload", upload_span);

@@ -24,10 +24,12 @@
 pub mod engine;
 pub mod recipe;
 pub mod restore;
+pub mod retry;
 pub mod scheme;
 pub mod timing;
 
 pub use engine::{AaDedupe, AaDedupeConfig, PipelineConfig, PipelineMode};
 pub use recipe::{ChunkRef, FileRecipe, Manifest};
 pub use restore::{restore_session, RestoredFile};
+pub use retry::RetryPolicy;
 pub use scheme::{BackupError, BackupScheme};

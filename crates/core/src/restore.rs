@@ -36,7 +36,7 @@ pub fn restore_session(
     session: u64,
 ) -> Result<Vec<RestoredFile>, BackupError> {
     let mkey = Manifest::key(scheme_key, session);
-    let (bytes, _t) = cloud.get(&mkey);
+    let (bytes, _t) = cloud.get(&mkey)?;
     let bytes = bytes.ok_or(BackupError::UnknownSession(session as usize))?;
     let manifest = Manifest::decode(&bytes)?;
 
@@ -48,7 +48,7 @@ pub fn restore_session(
                 containers.entry(c.container)
             {
                 let key = container_key(scheme_key, c.container);
-                let (raw, _t) = cloud.get(&key);
+                let (raw, _t) = cloud.get(&key)?;
                 let raw = raw.ok_or_else(|| BackupError::MissingObject(key.clone()))?;
                 let parsed = ParsedContainer::parse(&raw)
                     .map_err(|e| BackupError::Corrupt(format!("{key}: {e}")))?;
@@ -123,7 +123,7 @@ mod tests {
         }
         store.seal_all();
         for sc in store.drain_sealed() {
-            cloud.put(&container_key("test", sc.id), sc.bytes);
+            cloud.put(&container_key("test", sc.id), sc.bytes).unwrap();
         }
         let manifest = Manifest {
             session: 0,
@@ -134,7 +134,7 @@ mod tests {
                 chunks: refs,
             }],
         };
-        cloud.put(&Manifest::key("test", 0), manifest.encode());
+        cloud.put(&Manifest::key("test", 0), manifest.encode()).unwrap();
         (cloud, chunks)
     }
 
@@ -162,7 +162,7 @@ mod tests {
         let (cloud, _) = setup();
         let keys = cloud.store().list("test/containers/");
         for k in keys {
-            cloud.store().delete(&k);
+            cloud.store().delete(&k).unwrap();
         }
         assert!(matches!(
             restore_session(&cloud, "test", 0).unwrap_err(),
@@ -176,7 +176,7 @@ mod tests {
         let key = cloud.store().list("test/containers/")[0].clone();
         // Flip a byte inside the first chunk's payload (positions near the
         // container end can be harmless padding).
-        let raw = cloud.store().get(&key).unwrap();
+        let raw = cloud.store().get(&key).unwrap().unwrap();
         let parsed = ParsedContainer::parse(&raw).unwrap();
         let desc_len: usize = parsed.descriptors.iter().map(|d| d.encoded_len()).sum();
         let target = aadedupe_container::format::HEADER_LEN

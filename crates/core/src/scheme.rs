@@ -24,6 +24,12 @@ pub enum BackupError {
     Verification(String),
     /// The requested session was never backed up.
     UnknownSession(usize),
+    /// A cloud backend operation failed (after any retries).
+    Cloud(String),
+    /// A previous session failed mid-upload on this engine instance; its
+    /// in-memory state may reference objects that never reached the cloud,
+    /// so further backups are refused — reopen the engine from the cloud.
+    Poisoned(String),
 }
 
 impl fmt::Display for BackupError {
@@ -33,11 +39,21 @@ impl fmt::Display for BackupError {
             BackupError::Corrupt(what) => write!(f, "corrupt object: {what}"),
             BackupError::Verification(what) => write!(f, "verification failed: {what}"),
             BackupError::UnknownSession(s) => write!(f, "unknown session {s}"),
+            BackupError::Cloud(what) => write!(f, "cloud backend failure: {what}"),
+            BackupError::Poisoned(what) => {
+                write!(f, "engine poisoned by a failed session ({what}); reopen from the cloud")
+            }
         }
     }
 }
 
 impl std::error::Error for BackupError {}
+
+impl From<aadedupe_cloud::BackendError> for BackupError {
+    fn from(e: aadedupe_cloud::BackendError) -> Self {
+        BackupError::Cloud(e.to_string())
+    }
+}
 
 /// A cloud backup client strategy.
 pub trait BackupScheme {

@@ -123,11 +123,18 @@ pub enum Counter {
     UploadObjects,
     /// Bytes uploaded to the cloud namespace.
     UploadBytes,
+    /// Upload attempts retried after a transient backend failure.
+    UploadRetries,
+    /// Uploads abandoned (permanent failure, attempts or budget exhausted).
+    UploadGiveups,
+    /// Unreferenced containers garbage-collected on engine open (crash
+    /// leftovers from sessions whose manifest never committed).
+    OrphansSwept,
 }
 
 impl Counter {
     /// Every counter.
-    pub const ALL: [Counter; 13] = [
+    pub const ALL: [Counter; 16] = [
         Counter::FilesClassified,
         Counter::ChunksCdc,
         Counter::ChunksSc,
@@ -141,6 +148,9 @@ impl Counter {
         Counter::TinyCarried,
         Counter::UploadObjects,
         Counter::UploadBytes,
+        Counter::UploadRetries,
+        Counter::UploadGiveups,
+        Counter::OrphansSwept,
     ];
 
     /// Stable snake_case name (the JSON key).
@@ -159,6 +169,9 @@ impl Counter {
             Counter::TinyCarried => "tiny_carried",
             Counter::UploadObjects => "upload_objects",
             Counter::UploadBytes => "upload_bytes",
+            Counter::UploadRetries => "upload_retries",
+            Counter::UploadGiveups => "upload_giveups",
+            Counter::OrphansSwept => "orphans_swept",
         }
     }
 }

@@ -304,6 +304,15 @@ impl Snapshot {
             "\ncontainers sealed {sealed}, uploaded {uploaded} bytes in {} objects\n",
             self.counter(Counter::UploadObjects)
         ));
+        out.push_str(&format!(
+            "upload retries {}, give-ups {}\n",
+            self.counter(Counter::UploadRetries),
+            self.counter(Counter::UploadGiveups)
+        ));
+        let orphans = self.counter(Counter::OrphansSwept);
+        if orphans > 0 {
+            out.push_str(&format!("orphaned containers swept {orphans}\n"));
+        }
         out
     }
 }

@@ -34,7 +34,7 @@ fn corrupted_container_data_is_detected() {
     // container (containers are padded, so positions near the end may be
     // harmless zero-fill — aim precisely).
     for key in engine.cloud().store().list("aa-dedupe/containers/") {
-        let raw = engine.cloud().store().get(&key).unwrap();
+        let raw = engine.cloud().store().get(&key).unwrap().unwrap();
         let parsed = aa_dedupe::container::ParsedContainer::parse(&raw).unwrap();
         let desc_len: usize = parsed.descriptors.iter().map(|d| d.encoded_len()).sum();
         let first = parsed.descriptors.first().expect("non-empty container");
@@ -62,7 +62,7 @@ fn corrupted_container_header_is_detected() {
 fn missing_container_is_detected() {
     let (engine, _) = backed_up_engine();
     for key in engine.cloud().store().list("aa-dedupe/containers/") {
-        engine.cloud().store().delete(&key);
+        engine.cloud().store().delete(&key).unwrap();
     }
     let err = engine.restore_session(0).expect_err("must detect loss");
     assert!(matches!(err, BackupError::MissingObject(_)), "{err:?}");
@@ -121,4 +121,291 @@ fn double_delete_of_a_session_fails_cleanly() {
         engine.delete_session(0).expect_err("second delete"),
         BackupError::UnknownSession(0)
     ));
+}
+
+// ---------------------------------------------------------------------------
+// Fault drills: deterministic injected upload failures, retry/backoff, and
+// the crash-consistent commit protocol.
+// ---------------------------------------------------------------------------
+
+use aa_dedupe::cloud::{
+    FaultInjectingBackend, FaultPlan, ObjectBackend, ObjectStore, PriceModel, WanModel,
+};
+use aa_dedupe::core::{PipelineConfig, RetryPolicy};
+use aa_dedupe::obs::{Counter, Recorder};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+fn drill_files() -> Vec<MemoryFile> {
+    vec![
+        MemoryFile::new("user/doc/a.doc", b"important words ".repeat(4000)),
+        MemoryFile::new("user/pdf/b.pdf", vec![0x42; 120_000]),
+        MemoryFile::new("user/mp3/c.mp3", (0..90_000u32).map(|i| (i % 249) as u8).collect()),
+        MemoryFile::new("user/txt/note.txt", b"tiny note".to_vec()),
+    ]
+}
+
+fn changed_files() -> Vec<MemoryFile> {
+    let mut files = drill_files();
+    files[0] = MemoryFile::new("user/doc/a.doc", b"important words ".repeat(4500));
+    files.push(MemoryFile::new("user/jpg/new.jpg", vec![9u8; 60_000]));
+    files
+}
+
+fn cloud_over(backend: Arc<dyn ObjectBackend>) -> CloudSim {
+    CloudSim::with_backend(backend, WanModel::paper_defaults(), PriceModel::s3_april_2011())
+}
+
+fn config_with(workers: usize, retry: RetryPolicy, rec: Option<Arc<Recorder>>) -> AaDedupeConfig {
+    let mut config = AaDedupeConfig {
+        pipeline: PipelineConfig::with_workers(workers),
+        retry,
+        ..AaDedupeConfig::default()
+    };
+    if let Some(rec) = rec {
+        config.recorder = rec;
+    }
+    config
+}
+
+fn assert_restores_bit_exact(engine: &AaDedupe, session: usize, expect: &[MemoryFile]) {
+    let restored = engine.restore_session(session).expect("restore");
+    let by_path: BTreeMap<_, _> = restored.into_iter().map(|f| (f.path, f.data)).collect();
+    assert_eq!(by_path.len(), expect.len(), "session {session} file count");
+    for f in expect {
+        assert_eq!(by_path.get(&f.path), Some(&f.data), "session {session} file {}", f.path);
+    }
+}
+
+#[test]
+fn transient_faults_every_upload_point_retries_to_success() {
+    for workers in [1usize, 4] {
+        // Every put in the engine's namespace fails exactly once before
+        // succeeding — hits containers, the manifest and the index
+        // snapshot alike.
+        let inner: Arc<dyn ObjectBackend> = Arc::new(ObjectStore::new());
+        let faulty = Arc::new(FaultInjectingBackend::new(
+            Arc::clone(&inner),
+            FaultPlan::new(7).fail_prefix_puts("aa-dedupe/", 1, true),
+        ));
+        let rec = Recorder::shared();
+        let mut engine = AaDedupe::with_config(
+            cloud_over(faulty.clone() as Arc<dyn ObjectBackend>),
+            config_with(workers, RetryPolicy::default(), Some(rec.clone())),
+        );
+        let files = drill_files();
+        let sources: Vec<&dyn SourceFile> = files.iter().map(|f| f as &dyn SourceFile).collect();
+        engine.backup_session(&sources).expect("transient faults must be survivable");
+        assert!(!engine.is_poisoned());
+        assert_restores_bit_exact(&engine, 0, &files);
+
+        // Exactly one retry per distinct uploaded key, none abandoned.
+        let snap = rec.snapshot();
+        let distinct_keys = inner.list("aa-dedupe/").len() as u64;
+        assert!(distinct_keys > 0);
+        assert_eq!(snap.counter(Counter::UploadRetries), distinct_keys, "workers={workers}");
+        assert_eq!(snap.counter(Counter::UploadGiveups), 0, "workers={workers}");
+        assert_eq!(faulty.faults_injected(), distinct_keys, "workers={workers}");
+    }
+}
+
+#[test]
+fn persistent_fault_aborts_without_a_manifest_and_poisons_the_engine() {
+    for workers in [1usize, 4] {
+        let inner: Arc<dyn ObjectBackend> = Arc::new(ObjectStore::new());
+        let faulty: Arc<dyn ObjectBackend> = Arc::new(FaultInjectingBackend::new(
+            Arc::clone(&inner),
+            FaultPlan::new(7).fail_prefix_puts("aa-dedupe/containers/", u32::MAX, false),
+        ));
+        let rec = Recorder::shared();
+        let mut engine = AaDedupe::with_config(
+            cloud_over(faulty),
+            config_with(workers, RetryPolicy::default(), Some(rec.clone())),
+        );
+        let files = drill_files();
+        let sources: Vec<&dyn SourceFile> = files.iter().map(|f| f as &dyn SourceFile).collect();
+        let err = engine.backup_session(&sources).expect_err("permanent fault must abort");
+        assert!(matches!(err, BackupError::Cloud(_)), "{err:?}");
+        // Permanent errors are not retried.
+        assert_eq!(rec.snapshot().counter(Counter::UploadRetries), 0);
+        assert_eq!(rec.snapshot().counter(Counter::UploadGiveups), 1);
+        // The commit point was never reached: no manifest, so no session —
+        // a reopened engine sees a clean (empty) repository.
+        assert!(inner.list("aa-dedupe/manifests/").is_empty());
+        // The failed instance refuses further backups.
+        assert!(engine.is_poisoned());
+        let err = engine.backup_session(&sources).expect_err("poisoned");
+        assert!(matches!(err, BackupError::Poisoned(_)), "{err:?}");
+        let reopened = AaDedupe::open(
+            cloud_over(Arc::clone(&inner)),
+            config_with(workers, RetryPolicy::default(), None),
+        )
+        .expect("reopen over the bare store");
+        assert!(reopened.list_sessions().is_empty());
+    }
+}
+
+#[test]
+fn retry_budget_exhaustion_gives_up() {
+    let inner: Arc<dyn ObjectBackend> = Arc::new(ObjectStore::new());
+    let faulty: Arc<dyn ObjectBackend> = Arc::new(FaultInjectingBackend::new(
+        Arc::clone(&inner),
+        FaultPlan::new(3).fail_prefix_puts("aa-dedupe/", u32::MAX, true),
+    ));
+    let rec = Recorder::shared();
+    let policy = RetryPolicy { max_attempts: 3, session_retry_budget: 2, ..RetryPolicy::default() };
+    let mut engine =
+        AaDedupe::with_config(cloud_over(faulty), config_with(1, policy, Some(rec.clone())));
+    let files = drill_files();
+    let sources: Vec<&dyn SourceFile> = files.iter().map(|f| f as &dyn SourceFile).collect();
+    let err = engine.backup_session(&sources).expect_err("budget exhausted");
+    assert!(matches!(err, BackupError::Cloud(_)), "{err:?}");
+    let snap = rec.snapshot();
+    assert_eq!(snap.counter(Counter::UploadRetries), 2, "whole session budget spent");
+    assert_eq!(snap.counter(Counter::UploadGiveups), 1);
+}
+
+#[test]
+fn truncated_container_write_is_swept_on_reopen() {
+    // A truncated put leaves a partial object visible (a torn multipart
+    // upload). Without retries the session aborts before its manifest, so
+    // reopening sweeps the partial container as an orphan.
+    let inner: Arc<dyn ObjectBackend> = Arc::new(ObjectStore::new());
+    let faulty: Arc<dyn ObjectBackend> = Arc::new(FaultInjectingBackend::new(
+        Arc::clone(&inner),
+        FaultPlan::new(11).truncate_nth_put(1, 16),
+    ));
+    let mut engine =
+        AaDedupe::with_config(cloud_over(faulty), config_with(1, RetryPolicy::no_retries(), None));
+    let files = drill_files();
+    let sources: Vec<&dyn SourceFile> = files.iter().map(|f| f as &dyn SourceFile).collect();
+    engine.backup_session(&sources).expect_err("truncated write must fail the session");
+    let partials = inner.list("aa-dedupe/containers/");
+    assert_eq!(partials.len(), 1, "the torn object is visible before the sweep");
+    assert_eq!(inner.get(&partials[0]).unwrap().unwrap().len(), 16);
+
+    let reopened = AaDedupe::open(
+        cloud_over(Arc::clone(&inner)),
+        config_with(1, RetryPolicy::default(), None),
+    )
+    .expect("reopen");
+    assert_eq!(reopened.orphans_swept(), 1);
+    assert!(inner.list("aa-dedupe/containers/").is_empty());
+}
+
+#[test]
+fn crash_at_every_operation_leaves_a_recoverable_repository() {
+    for workers in [1usize, 4] {
+        // Dry run to learn how many backend operations session 1 performs
+        // (open's manifest fetches + the second session's uploads).
+        let total_ops = {
+            let inner: Arc<dyn ObjectBackend> = Arc::new(ObjectStore::new());
+            let mut e0 = AaDedupe::with_config(
+                cloud_over(Arc::clone(&inner)),
+                config_with(workers, RetryPolicy::no_retries(), None),
+            );
+            let files = drill_files();
+            let sources: Vec<&dyn SourceFile> =
+                files.iter().map(|f| f as &dyn SourceFile).collect();
+            e0.backup_session(&sources).expect("clean session 0");
+            let counting =
+                Arc::new(FaultInjectingBackend::new(Arc::clone(&inner), FaultPlan::new(0)));
+            let mut e1 = AaDedupe::open(
+                cloud_over(counting.clone() as Arc<dyn ObjectBackend>),
+                config_with(workers, RetryPolicy::no_retries(), None),
+            )
+            .expect("open");
+            let changed = changed_files();
+            let sources: Vec<&dyn SourceFile> =
+                changed.iter().map(|f| f as &dyn SourceFile).collect();
+            e1.backup_session(&sources).expect("clean session 1");
+            counting.ops_attempted()
+        };
+        assert!(total_ops >= 3, "expected open+upload traffic, got {total_ops}");
+
+        let files = drill_files();
+        let changed = changed_files();
+        for crash_at in 1..=total_ops {
+            // Fresh repository with a committed session 0.
+            let inner: Arc<dyn ObjectBackend> = Arc::new(ObjectStore::new());
+            {
+                let mut e0 = AaDedupe::with_config(
+                    cloud_over(Arc::clone(&inner)),
+                    config_with(workers, RetryPolicy::no_retries(), None),
+                );
+                let sources: Vec<&dyn SourceFile> =
+                    files.iter().map(|f| f as &dyn SourceFile).collect();
+                e0.backup_session(&sources).expect("clean session 0");
+            }
+            // Crash-stop the backend at operation `crash_at` during
+            // open + session 1. Failures here are expected and fine.
+            let crashing = Arc::new(FaultInjectingBackend::new(
+                Arc::clone(&inner),
+                FaultPlan::new(0).crash_at_op(crash_at),
+            ));
+            let session1_committed = match AaDedupe::open(
+                cloud_over(crashing.clone() as Arc<dyn ObjectBackend>),
+                config_with(workers, RetryPolicy::no_retries(), None),
+            ) {
+                Ok(mut e1) => {
+                    let sources: Vec<&dyn SourceFile> =
+                        changed.iter().map(|f| f as &dyn SourceFile).collect();
+                    e1.backup_session(&sources).is_ok()
+                }
+                Err(_) => false,
+            };
+
+            // Recovery: reopen over the bare store. Whatever the crash
+            // point, session 0 must restore bit-exactly, session 1 exactly
+            // when its manifest committed, and the orphan sweep must leave
+            // only referenced containers behind.
+            let e = AaDedupe::open(
+                cloud_over(Arc::clone(&inner)),
+                config_with(workers, RetryPolicy::no_retries(), None),
+            )
+            .unwrap_or_else(|err| {
+                panic!("workers={workers} crash_at={crash_at}: reopen failed: {err}")
+            });
+            let sessions = e.list_sessions();
+            assert!(sessions.contains(&0), "workers={workers} crash_at={crash_at}");
+            assert_restores_bit_exact(&e, 0, &files);
+            if sessions.contains(&1) {
+                assert_restores_bit_exact(&e, 1, &changed);
+            } else {
+                assert!(
+                    !session1_committed,
+                    "workers={workers} crash_at={crash_at}: a session reported as committed \
+                     must be restorable"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn recovered_engine_continues_the_session_sequence() {
+    // Regression test: after disaster recovery the session counter must
+    // resume after the last committed manifest, not restart at zero.
+    let inner: Arc<dyn ObjectBackend> = Arc::new(ObjectStore::new());
+    let files = drill_files();
+    {
+        let mut e0 = AaDedupe::with_config(
+            cloud_over(Arc::clone(&inner)),
+            AaDedupeConfig { index_sync_interval: 1, ..AaDedupeConfig::default() },
+        );
+        let sources: Vec<&dyn SourceFile> = files.iter().map(|f| f as &dyn SourceFile).collect();
+        e0.backup_session(&sources).expect("session 0");
+    }
+    // "New machine": blank engine, index rebuilt from the cloud snapshot.
+    let mut e = AaDedupe::with_config(
+        cloud_over(Arc::clone(&inner)),
+        AaDedupeConfig { index_sync_interval: 1, ..AaDedupeConfig::default() },
+    );
+    e.recover_index_from_cloud().expect("recover");
+    assert_eq!(e.sessions_completed(), 1, "counter resumes after the recovered manifest");
+    let changed = changed_files();
+    let sources: Vec<&dyn SourceFile> = changed.iter().map(|f| f as &dyn SourceFile).collect();
+    e.backup_session(&sources).expect("session 1 after recovery");
+    assert_restores_bit_exact(&e, 0, &files);
+    assert_restores_bit_exact(&e, 1, &changed);
 }

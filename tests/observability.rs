@@ -138,7 +138,7 @@ fn differential_serial_parallel_with_observability_enabled() {
         let (engine, _) = run(config, snaps);
         let store = engine.cloud().store();
         store.list("").into_iter().map(|k| {
-            let bytes = store.get(&k).expect("listed key present");
+            let bytes = store.get(&k).unwrap().expect("listed key present");
             (k, bytes)
         }).collect()
     }

@@ -62,7 +62,8 @@ fn observe(engine: &AaDedupe, reports: Vec<SessionReport>, sessions: usize) -> O
         .list("")
         .into_iter()
         .map(|key| {
-            let bytes = store.get(&key).unwrap_or_else(|| panic!("listed key {key} missing"));
+            let bytes =
+                store.get(&key).unwrap().unwrap_or_else(|| panic!("listed key {key} missing"));
             (key, bytes)
         })
         .collect();
