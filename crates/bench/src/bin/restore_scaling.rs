@@ -1,0 +1,156 @@
+//! Restore scaling: restore throughput versus fetch-worker count.
+//!
+//! Backs up a synthetic mixed-category workload once, then restores the
+//! session through the pipelined bounded-memory restore engine with
+//! `workers ∈ {1, 2, 4, 8}` and reports wall-clock throughput and speedup
+//! as a JSON document on stdout, one object per configuration — the
+//! restore-side counterpart of `pipeline_scaling`.
+//!
+//! Run: `cargo run --release -p aadedupe-bench --bin restore_scaling`
+//!
+//! Environment knobs:
+//! * `AA_RESTORE_MB` — approximate workload size in MiB (default 64).
+//! * `AA_RESTORE_WORKERS` — comma-separated worker counts (default 1,2,4,8).
+//! * `AA_RESTORE_REPS` — timed repetitions per configuration; the fastest
+//!   rep is reported (default 3).
+//! * `AA_RESTORE_CACHE` — container-cache capacity (default 16).
+
+use std::time::Instant;
+
+use aadedupe_cloud::CloudSim;
+use aadedupe_core::{
+    restore_session_pipelined, AaDedupe, AaDedupeConfig, BackupScheme, PipelineConfig,
+    RestoreOptions, RetryPolicy,
+};
+use aadedupe_filetype::{MemoryFile, SourceFile};
+use aadedupe_obs::{Queue, Recorder, Snapshot, Stage};
+use aadedupe_workload::Prng;
+
+fn env_or<T: std::str::FromStr>(key: &str, default: T) -> T {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// A mixed-category corpus of ~`mb` MiB — same shape as the backup
+/// scaling bench so the two sides are comparable: CDC-chunked media,
+/// SC-chunked documents, duplicate halves, and a sprinkle of tiny files.
+fn corpus(mb: usize) -> Vec<MemoryFile> {
+    let mut files = Vec::new();
+    let target = mb << 20;
+    let mut produced = 0usize;
+    let exts = ["pdf", "doc", "mp3", "zip", "txt", "html", "vmdk", "avi"];
+    let mut i = 0usize;
+    while produced < target {
+        let ext = exts[i % exts.len()];
+        let len = match i % 8 {
+            0 => 2 * 1024,
+            1 | 2 => 64 * 1024,
+            3..=5 => 256 * 1024,
+            _ => 1 << 20,
+        };
+        let mut data = vec![0u8; len];
+        Prng::derive(&[0xE5702E, i as u64]).fill(&mut data);
+        if i % 3 == 2 && len >= 64 * 1024 {
+            let half = len / 2;
+            let (a, b) = data.split_at_mut(half);
+            b[..half].copy_from_slice(&a[..half]);
+        }
+        files.push(MemoryFile::new(format!("restore/f{i:05}.{ext}"), data));
+        produced += len;
+        i += 1;
+    }
+    files
+}
+
+fn restore_once(cloud: &CloudSim, opts: &RestoreOptions, rec: &Recorder) -> (f64, usize) {
+    let start = Instant::now();
+    let files =
+        restore_session_pipelined(cloud, "aa-dedupe", 0, opts, &RetryPolicy::default(), rec)
+            .expect("restore");
+    let seconds = start.elapsed().as_secs_f64();
+    (seconds, files.len())
+}
+
+/// The per-stage breakdown as a JSON fragment for one result object.
+fn stage_json(snap: &Snapshot) -> String {
+    let stages = [Stage::RestoreFetch, Stage::RestoreVerify, Stage::RestoreAssemble]
+        .iter()
+        .map(|&s| format!("\"{}\": {}", s.name(), snap.stage_total(s).as_nanos()))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let busy: u64 = snap.workers.iter().map(|w| w.busy_ns).sum();
+    let idle: u64 = snap.workers.iter().map(|w| w.idle_ns).sum();
+    let util = if busy + idle == 0 { 1.0 } else { busy as f64 / (busy + idle) as f64 };
+    format!(
+        "\"stage_ns\": {{{stages}}}, \"cache_hwm\": {}, \"worker_utilization\": {util:.4}",
+        snap.queue(Queue::RestoreCache).hwm
+    )
+}
+
+fn main() {
+    let mb: usize = env_or("AA_RESTORE_MB", 64);
+    let reps: usize = env_or("AA_RESTORE_REPS", 3);
+    let cache: usize = env_or("AA_RESTORE_CACHE", 16);
+    let workers: Vec<usize> = std::env::var("AA_RESTORE_WORKERS")
+        .map(|s| s.split(',').map(|w| w.trim().parse().expect("worker count")).collect())
+        .unwrap_or_else(|_| vec![1, 2, 4, 8]);
+
+    let files = corpus(mb);
+    let logical: usize = files.iter().map(|f| f.data.len()).sum();
+    eprintln!(
+        "restore_scaling: {} files, {} MiB, workers {:?}, cache {}, best of {}",
+        files.len(),
+        logical >> 20,
+        workers,
+        cache,
+        reps
+    );
+
+    // One backup; every configuration restores the same session.
+    let cloud = CloudSim::with_paper_defaults();
+    let mut engine = AaDedupe::with_config(
+        cloud.clone(),
+        AaDedupeConfig { pipeline: PipelineConfig::with_workers(4), ..AaDedupeConfig::default() },
+    );
+    let sources: Vec<&dyn SourceFile> = files.iter().map(|f| f as &dyn SourceFile).collect();
+    engine.backup_session(&sources).expect("backup");
+
+    let mut results: Vec<(usize, f64, Snapshot)> = Vec::new();
+    for &w in &workers {
+        let opts = RestoreOptions { workers: w, cache_capacity: cache };
+        let disabled = Recorder::disabled();
+        let mut best = f64::INFINITY;
+        for _ in 0..reps.max(1) {
+            let (t, n) = restore_once(&cloud, &opts, &disabled);
+            assert_eq!(n, files.len(), "restore returned every file");
+            best = best.min(t);
+        }
+        // One extra profiled run, kept out of the timed reps so recording
+        // overhead never pollutes the throughput numbers.
+        let recorder = Recorder::new();
+        restore_once(&cloud, &opts, &recorder);
+        results.push((w, best, recorder.snapshot()));
+    }
+
+    let baseline = results
+        .iter()
+        .find(|(w, _, _)| *w == 1)
+        .map(|(_, t, _)| *t)
+        .unwrap_or(results[0].1);
+    println!("{{");
+    println!("  \"workload_mib\": {},", logical >> 20);
+    println!("  \"files\": {},", files.len());
+    println!("  \"reps\": {reps},");
+    println!("  \"cache_capacity\": {cache},");
+    println!("  \"results\": [");
+    for (i, (w, t, profile)) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        println!(
+            "    {{\"workers\": {w}, \"seconds\": {t:.4}, \"mib_per_s\": {:.2}, \"speedup\": {:.3}, {}}}{comma}",
+            logical as f64 / (1 << 20) as f64 / t,
+            baseline / t,
+            stage_json(profile)
+        );
+    }
+    println!("  ]");
+    println!("}}");
+}

@@ -8,8 +8,8 @@
 //! ```text
 //! aabackup backup  --repo <dir> [--workers N] [--stats] [--stats-json <f>]
 //!                  [--trace <f>] <source-dir>
-//! aabackup restore --repo <dir> <session> <out>   restore a session
-//! aabackup restore-file --repo <dir> <session> <path> <out-file>
+//! aabackup restore --repo <dir> [--workers N] [--stats] <session> <out>
+//! aabackup restore-file --repo <dir> [--workers N] <session> <path> <out-file>
 //! aabackup sessions --repo <dir>                  list sessions
 //! aabackup delete  --repo <dir> <session>         delete + reclaim space
 //! aabackup stats   --repo <dir>                   repository statistics
@@ -22,14 +22,16 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use aadedupe_cloud::{CloudSim, FsObjectStore, PriceModel, WanModel};
-use aadedupe_core::{AaDedupe, AaDedupeConfig, BackupScheme, PipelineConfig, RetryPolicy};
+use aadedupe_core::{
+    AaDedupe, AaDedupeConfig, BackupScheme, PipelineConfig, RestoreOptions, RetryPolicy,
+};
 use aadedupe_obs::Recorder;
 
 use source::walk_directory;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  aabackup backup  --repo <dir> [--workers N] [--stats] [--stats-json <file>] [--trace <file>] <source-dir>\n  aabackup restore --repo <dir> <session> <out-dir>\n  aabackup restore-file --repo <dir> <session> <path> <out-file>\n  aabackup sessions --repo <dir>\n  aabackup delete  --repo <dir> <session>\n  aabackup stats   --repo <dir>"
+        "usage:\n  aabackup backup  --repo <dir> [--workers N] [--stats] [--stats-json <file>] [--trace <file>] <source-dir>\n  aabackup restore --repo <dir> [--workers N] [--stats] <session> <out-dir>\n  aabackup restore-file --repo <dir> [--workers N] <session> <path> <out-file>\n  aabackup sessions --repo <dir>\n  aabackup delete  --repo <dir> <session>\n  aabackup stats   --repo <dir>"
     );
     ExitCode::from(2)
 }
@@ -116,6 +118,7 @@ fn open_engine(
     );
     let mut config = AaDedupeConfig {
         pipeline: PipelineConfig::with_workers(workers),
+        restore: RestoreOptions { workers, ..RestoreOptions::default() },
         // Against a real disk, backoff should really wait, not just be
         // charged to the simulated clock.
         retry: RetryPolicy { sleep: true, ..RetryPolicy::default() },
@@ -191,8 +194,15 @@ fn cmd_backup(repo: &Path, src: &Path, workers: usize, obs: &ObsArgs) -> Result<
     Ok(())
 }
 
-fn cmd_restore(repo: &Path, session: usize, out: &Path) -> Result<(), String> {
-    let engine = open_engine(repo, 1, None)?;
+fn cmd_restore(
+    repo: &Path,
+    session: usize,
+    out: &Path,
+    workers: usize,
+    obs: &ObsArgs,
+) -> Result<(), String> {
+    let rec = obs.any().then(Recorder::shared);
+    let engine = open_engine(repo, workers, rec.clone())?;
     let files = engine
         .restore_session(session)
         .map_err(|e| format!("restore failed: {e}"))?;
@@ -204,11 +214,28 @@ fn cmd_restore(repo: &Path, session: usize, out: &Path) -> Result<(), String> {
         std::fs::write(&dest, &f.data).map_err(|e| format!("write {dest:?}: {e}"))?;
     }
     println!("restored {} files from session {session} into {out:?}", files.len());
+    if let Some(rec) = rec {
+        let snap = rec.snapshot();
+        if obs.stats {
+            print!("{}", snap.render_table());
+        }
+        if let Some(path) = &obs.stats_json {
+            std::fs::write(path, snap.to_json())
+                .map_err(|e| format!("write stats {path:?}: {e}"))?;
+            println!("  stage stats written to {}", path.display());
+        }
+    }
     Ok(())
 }
 
-fn cmd_restore_file(repo: &Path, session: usize, path: &str, out: &Path) -> Result<(), String> {
-    let engine = open_engine(repo, 1, None)?;
+fn cmd_restore_file(
+    repo: &Path,
+    session: usize,
+    path: &str,
+    out: &Path,
+    workers: usize,
+) -> Result<(), String> {
+    let engine = open_engine(repo, workers, None)?;
     let file = engine
         .restore_file(session, path)
         .map_err(|e| format!("restore failed: {e}"))?;
@@ -299,11 +326,11 @@ fn main() -> ExitCode {
     let result = match (command.as_str(), args.as_slice()) {
         ("backup", [src]) => cmd_backup(&repo, Path::new(src), workers, &obs),
         ("restore", [session, out]) => match session.parse() {
-            Ok(s) => cmd_restore(&repo, s, Path::new(out)),
+            Ok(s) => cmd_restore(&repo, s, Path::new(out), workers, &obs),
             Err(_) => return usage(),
         },
         ("restore-file", [session, path, out]) => match session.parse() {
-            Ok(s) => cmd_restore_file(&repo, s, path, Path::new(out)),
+            Ok(s) => cmd_restore_file(&repo, s, path, Path::new(out), workers),
             Err(_) => return usage(),
         },
         ("sessions", []) => cmd_sessions(&repo),

@@ -12,6 +12,8 @@
 //! * fail the Nth put (transient or permanent);
 //! * fail every key under a prefix K times, then let it succeed
 //!   (the classic flaky-endpoint shape retries must absorb);
+//! * the same two shapes for gets, so restore downloads can be drilled
+//!   exactly like uploads;
 //! * truncate the Nth put — the *partial* object becomes visible and the
 //!   put reports a transient failure, modelling a torn write;
 //! * crash-stop at the Nth operation — that operation and every later one
@@ -54,6 +56,23 @@ pub enum FaultRule {
         n: u64,
         /// Bytes of the payload that reach the backend.
         keep: usize,
+    },
+    /// Fail the `n`th get (1-based over the backend's lifetime).
+    NthGet {
+        /// Which get to fail, counting from 1.
+        n: u64,
+        /// Whether the failure is worth retrying.
+        transient: bool,
+    },
+    /// Fail the first `times` gets of every key matching `prefix`, then
+    /// let that key succeed.
+    PrefixGets {
+        /// Key prefix the rule applies to.
+        prefix: String,
+        /// Failures per key before it recovers.
+        times: u32,
+        /// Whether the failures are worth retrying.
+        transient: bool,
     },
     /// Crash-stop: operation number `op` (1-based, counting puts, gets and
     /// deletes together) and every operation after it fails permanently.
@@ -106,6 +125,18 @@ impl FaultPlan {
         self
     }
 
+    /// Adds [`FaultRule::NthGet`].
+    pub fn fail_nth_get(mut self, n: u64, transient: bool) -> Self {
+        self.rules.push(FaultRule::NthGet { n, transient });
+        self
+    }
+
+    /// Adds [`FaultRule::PrefixGets`].
+    pub fn fail_prefix_gets(mut self, prefix: impl Into<String>, times: u32, transient: bool) -> Self {
+        self.rules.push(FaultRule::PrefixGets { prefix: prefix.into(), times, transient });
+        self
+    }
+
     /// Adds [`FaultRule::CrashAtOp`].
     pub fn crash_at_op(mut self, op: u64) -> Self {
         self.rules.push(FaultRule::CrashAtOp { op });
@@ -133,8 +164,12 @@ struct FaultState {
     ops: u64,
     /// Puts attempted, 1-based after increment.
     puts: u64,
+    /// Gets attempted, 1-based after increment.
+    gets: u64,
     /// Per-key failures already injected by `PrefixPuts` rules.
     prefix_failures: HashMap<String, u32>,
+    /// Per-key failures already injected by `PrefixGets` rules.
+    prefix_get_failures: HashMap<String, u32>,
     /// Faults injected so far (for test assertions).
     injected: u64,
     /// Set once a `CrashAtOp` rule fires; everything fails afterwards.
@@ -227,6 +262,33 @@ impl FaultInjectingBackend {
         }
         None
     }
+
+    /// Consults every get rule; returns `Some(transient)` to inject a fault.
+    fn get_fault(&self, key: &str) -> Option<bool> {
+        let mut g = self.state.lock();
+        g.gets += 1;
+        let nth = g.gets;
+        for rule in &self.plan.rules {
+            match rule {
+                FaultRule::NthGet { n, transient } if *n == nth => {
+                    g.injected += 1;
+                    return Some(*transient);
+                }
+                FaultRule::PrefixGets { prefix, times, transient }
+                    if key.starts_with(prefix.as_str()) =>
+                {
+                    let seen = g.prefix_get_failures.entry(key.to_owned()).or_insert(0);
+                    if *seen < *times {
+                        *seen += 1;
+                        g.injected += 1;
+                        return Some(*transient);
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    }
 }
 
 impl ObjectBackend for FaultInjectingBackend {
@@ -255,7 +317,15 @@ impl ObjectBackend for FaultInjectingBackend {
 
     fn get(&self, key: &str) -> Result<Option<Vec<u8>>, BackendError> {
         self.tick_op(BackendOp::Get, key)?;
-        self.inner.get(key)
+        match self.get_fault(key) {
+            Some(true) => {
+                Err(BackendError::transient(BackendOp::Get, key, "injected transient failure"))
+            }
+            Some(false) => {
+                Err(BackendError::permanent(BackendOp::Get, key, "injected permanent failure"))
+            }
+            None => self.inner.get(key),
+        }
     }
 
     fn delete(&self, key: &str) -> Result<bool, BackendError> {
@@ -329,6 +399,40 @@ mod tests {
         assert_eq!(inner.get("k").unwrap(), Some(vec![1, 2, 3]), "torn write is visible");
         b.put("k", vec![1, 2, 3, 4, 5]).unwrap();
         assert_eq!(inner.get("k").unwrap(), Some(vec![1, 2, 3, 4, 5]), "retry heals it");
+    }
+
+    #[test]
+    fn nth_get_fails_once() {
+        let (b, _) = faulty(FaultPlan::new(1).fail_nth_get(2, true));
+        b.put("a", vec![1]).unwrap();
+        assert_eq!(b.get("a").unwrap(), Some(vec![1]));
+        let err = b.get("a").unwrap_err();
+        assert!(err.transient);
+        assert_eq!(b.get("a").unwrap(), Some(vec![1]), "third get: rule no longer matches");
+        assert_eq!(b.faults_injected(), 1);
+    }
+
+    #[test]
+    fn prefix_gets_fail_k_times_then_recover() {
+        let (b, _) = faulty(FaultPlan::new(1).fail_prefix_gets("c/", 2, true));
+        b.put("c/1", vec![1]).unwrap();
+        b.put("m/0", vec![9]).unwrap();
+        assert!(b.get("c/1").is_err());
+        assert!(b.get("c/1").is_err());
+        assert_eq!(b.get("c/1").unwrap(), Some(vec![1]));
+        // An unrelated key never fails; each key has its own counter.
+        assert_eq!(b.get("m/0").unwrap(), Some(vec![9]));
+        assert!(b.get("c/1").unwrap().is_some(), "counter is per key, not global");
+        assert_eq!(b.faults_injected(), 2);
+    }
+
+    #[test]
+    fn permanent_get_failure_is_not_transient() {
+        let (b, _) = faulty(FaultPlan::new(1).fail_prefix_gets("c/", u32::MAX, false));
+        b.put("c/1", vec![1]).unwrap();
+        let err = b.get("c/1").unwrap_err();
+        assert!(!err.transient);
+        assert!(b.get("c/1").is_err(), "never recovers");
     }
 
     #[test]

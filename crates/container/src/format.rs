@@ -19,6 +19,7 @@
 //! ```
 
 use aadedupe_hashing::Fingerprint;
+use std::collections::HashMap;
 use std::fmt;
 
 /// Magic prefix of every container object.
@@ -174,6 +175,14 @@ impl ParsedContainer {
             .ok_or(ContainerError::ChunkNotFound)
     }
 
+    /// Builds an `(offset, fingerprint) → descriptor` lookup table so
+    /// restore can resolve chunk references in O(1) instead of scanning
+    /// the descriptor table per chunk. Keyed on the pair because a
+    /// duplicate chunk may legitimately appear at several offsets.
+    pub fn descriptor_map(&self) -> HashMap<(u32, Fingerprint), ChunkDescriptor> {
+        self.descriptors.iter().map(|d| ((d.offset, d.fingerprint), *d)).collect()
+    }
+
     /// Recomputes every chunk's fingerprint, returning the first corrupt
     /// chunk found. Used for failure-injection tests and restore-time
     /// integrity checking.
@@ -241,6 +250,18 @@ mod tests {
         assert_eq!(parsed.find(&descriptors[0].fingerprint).unwrap(), b"first chunk");
         let absent = Fingerprint::compute(HashAlgorithm::Sha1, b"not here");
         assert_eq!(parsed.find(&absent), Err(ContainerError::ChunkNotFound));
+    }
+
+    #[test]
+    fn descriptor_map_covers_every_descriptor() {
+        let (encoded, descriptors, _) = build_sample(None);
+        let parsed = ParsedContainer::parse(&encoded).unwrap();
+        let map = parsed.descriptor_map();
+        assert_eq!(map.len(), descriptors.len());
+        for d in &descriptors {
+            assert_eq!(map[&(d.offset, d.fingerprint)], *d);
+        }
+        assert!(!map.contains_key(&(999, descriptors[0].fingerprint)));
     }
 
     #[test]

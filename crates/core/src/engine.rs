@@ -55,7 +55,10 @@ use aadedupe_metrics::{SessionReport, StageCpu};
 use aadedupe_obs::{Counter, Queue, Recorder, Snapshot, Stage, WorkerRole};
 
 use crate::recipe::{ChunkRef, FileRecipe, Manifest};
-use crate::restore::{container_key, restore_session, RestoredFile};
+use crate::restore::{
+    container_key, restore_file_pipelined, restore_session_pipelined, RestoreOptions,
+    RestoredFile,
+};
 use crate::retry::RetryPolicy;
 use crate::scheme::{BackupError, BackupScheme};
 use crate::timing::{DedupClock, DISK_SEEK, SOURCE_READ_BPS};
@@ -128,7 +131,11 @@ pub struct AaDedupeConfig {
     pub index_sync_interval: usize,
     /// Backup pipeline worker-pool settings.
     pub pipeline: PipelineConfig,
-    /// Upload retry/backoff policy for transient backend failures.
+    /// Restore pipeline settings (worker threads and the bounded
+    /// container-cache size).
+    pub restore: RestoreOptions,
+    /// Retry/backoff policy for transient backend failures, shared by
+    /// uploads and restore downloads.
     pub retry: RetryPolicy,
     /// Cloud namespace prefix for this engine's objects.
     pub scheme_key: String,
@@ -150,6 +157,7 @@ impl Default for AaDedupeConfig {
             ram_entries_per_partition: 1 << 18,
             index_sync_interval: 1,
             pipeline: PipelineConfig::default(),
+            restore: RestoreOptions::default(),
             retry: RetryPolicy::default(),
             scheme_key: "aa-dedupe".into(),
             recorder: Recorder::shared_disabled(),
@@ -184,6 +192,13 @@ pub struct AaDedupe {
     /// Containers garbage-collected by the orphan sweep in
     /// [`AaDedupe::open`].
     orphans_swept: u64,
+    /// Containers left behind by a partially-failed [`delete_session`]:
+    /// their manifest is gone (the un-commit succeeded) but their own
+    /// delete failed. Retried on the next deletion; the orphan sweep on
+    /// reopen reclaims them too.
+    ///
+    /// [`delete_session`]: AaDedupe::delete_session
+    sweep_debt: Vec<u64>,
 }
 
 /// The result of chunk+hash over one file.
@@ -406,6 +421,7 @@ impl AaDedupe {
             tiny_seen: HashMap::new(),
             poisoned: None,
             orphans_swept: 0,
+            sweep_debt: Vec::new(),
             cloud,
             config,
         }
@@ -494,24 +510,34 @@ impl AaDedupe {
         }
     }
 
-    /// Sessions currently restorable from the cloud (ascending).
+    /// Sessions currently restorable from the cloud (ascending). Sorted
+    /// numerically after parsing — backend listing order is lexicographic
+    /// at best and arbitrary in general.
     pub fn list_sessions(&self) -> Vec<usize> {
         let prefix = format!("{}/manifests/", self.config.scheme_key);
-        self.cloud
+        let mut sessions: Vec<usize> = self
+            .cloud
             .store()
             .list(&prefix)
             .iter()
             .filter_map(|k| k.rsplit('/').next()?.parse::<usize>().ok())
-            .collect()
+            .collect();
+        sessions.sort_unstable();
+        sessions
     }
 
-    /// Restores a single file by path from a past session.
+    /// Restores a single file by path from a past session, fetching only
+    /// the containers that file's recipe references.
     pub fn restore_file(&self, session: usize, path: &str) -> Result<RestoredFile, BackupError> {
-        let files = self.restore_session(session)?;
-        files
-            .into_iter()
-            .find(|f| f.path == path)
-            .ok_or_else(|| BackupError::MissingObject(format!("session {session}: {path}")))
+        restore_file_pipelined(
+            &self.cloud,
+            &self.config.scheme_key,
+            session as u64,
+            path,
+            &self.config.restore,
+            &self.config.retry,
+            &self.config.recorder,
+        )
     }
 
     /// The engine's configuration.
@@ -834,11 +860,14 @@ impl AaDedupe {
         manifest
     }
 
-    /// Marks every chunk of a manifest released, deleting containers whose
-    /// last live chunk disappears (the background deletion process of
-    /// §III.F). Tiny-file chunks are unindexed, so their container slots
+    /// Drops one manifest's references from the in-memory index and the
+    /// per-container refcounts, returning the containers left with no live
+    /// chunks. Infallible by design: it runs after the manifest delete —
+    /// the un-commit point — so nothing here may abort the deletion
+    /// half-done. Tiny-file chunks are unindexed, so their container slots
     /// are released directly.
-    fn release_manifest(&mut self, manifest: &Manifest) -> Result<(), BackupError> {
+    fn release_manifest_refs(&mut self, manifest: &Manifest) -> Vec<u64> {
+        let mut dead = Vec::new();
         for f in &manifest.files {
             for c in &f.chunks {
                 if !f.tiny {
@@ -853,23 +882,48 @@ impl AaDedupe {
                 *live = live.saturating_sub(1);
                 if *live == 0 {
                     self.container_live.remove(&c.container);
-                    self.cloud.delete(&container_key(&self.config.scheme_key, c.container))?;
+                    dead.push(c.container);
                 }
             }
         }
-        Ok(())
+        dead
     }
 
-    /// Deletes a past session: removes its manifest and reclaims any
-    /// containers left without live references.
+    /// Deletes a past session and reclaims any containers left without
+    /// live references (the background deletion process of §III.F).
+    ///
+    /// Crash consistency: the *manifest* delete is the un-commit point.
+    /// Until it succeeds nothing is mutated — a failure there leaves the
+    /// session fully restorable. After it, container reclamation is
+    /// best-effort garbage collection: a failed container delete is
+    /// recorded as sweep debt (retried on the next deletion; the orphan
+    /// sweep in [`AaDedupe::open`] also reclaims it, since a container
+    /// unreferenced by every committed manifest is an orphan), never an
+    /// error — the inverse order would delete containers a still-committed
+    /// manifest references.
     pub fn delete_session(&mut self, session: usize) -> Result<(), BackupError> {
         let key = Manifest::key(&self.config.scheme_key, session as u64);
         let (bytes, _t) = self.cloud.get(&key)?;
         let bytes = bytes.ok_or(BackupError::UnknownSession(session))?;
         let manifest = Manifest::decode(&bytes)?;
-        self.release_manifest(&manifest)?;
         self.cloud.delete(&key)?;
+        let mut reclaim = std::mem::take(&mut self.sweep_debt);
+        reclaim.extend(self.release_manifest_refs(&manifest));
+        for id in reclaim {
+            if self.cloud.delete(&container_key(&self.config.scheme_key, id)).is_err() {
+                self.sweep_debt.push(id);
+            }
+        }
         Ok(())
+    }
+
+    /// Containers whose delete failed during a past [`delete_session`] —
+    /// unreferenced garbage awaiting reclamation by the next deletion or
+    /// by the orphan sweep on reopen.
+    ///
+    /// [`delete_session`]: AaDedupe::delete_session
+    pub fn sweep_debt(&self) -> &[u64] {
+        &self.sweep_debt
     }
 
     /// Rebuilds the in-memory index from the latest cloud snapshot — the
@@ -1058,7 +1112,14 @@ impl BackupScheme for AaDedupe {
     }
 
     fn restore_session(&self, session: usize) -> Result<Vec<RestoredFile>, BackupError> {
-        restore_session(&self.cloud, &self.config.scheme_key, session as u64)
+        restore_session_pipelined(
+            &self.cloud,
+            &self.config.scheme_key,
+            session as u64,
+            &self.config.restore,
+            &self.config.retry,
+            &self.config.recorder,
+        )
     }
 
     fn sessions_completed(&self) -> usize {

@@ -30,6 +30,9 @@ pub mod timing;
 
 pub use engine::{AaDedupe, AaDedupeConfig, PipelineConfig, PipelineMode};
 pub use recipe::{ChunkRef, FileRecipe, Manifest};
-pub use restore::{restore_session, RestoredFile};
+pub use restore::{
+    restore_file_pipelined, restore_session, restore_session_pipelined, RestoreOptions,
+    RestoredFile,
+};
 pub use retry::RetryPolicy;
 pub use scheme::{BackupError, BackupScheme};

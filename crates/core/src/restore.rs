@@ -1,18 +1,48 @@
 //! Manifest-driven restore.
 //!
 //! Restore is the correctness oracle of the whole system: for any past
-//! session, fetch its manifest, fetch each referenced container exactly
-//! once (chunk locality makes this cheap — the paper groups chunks "likely
-//! to be retrieved together"), extract and *verify* every chunk against
-//! its fingerprint, and reassemble the files byte-for-byte.
+//! session, fetch its manifest, fetch each referenced container (chunk
+//! locality makes this cheap — the paper groups chunks "likely to be
+//! retrieved together"), extract and *verify* every chunk against its
+//! fingerprint, and reassemble the files byte-for-byte.
+//!
+//! Two engines share that contract:
+//!
+//! * [`restore_session`] — the serial reference implementation: fetch
+//!   every referenced container up front, then assemble. Simple, but its
+//!   peak memory is O(session) and a single transient GET aborts it. It
+//!   is kept as the oracle the pipelined engine is differentially tested
+//!   against (and as the restore path of the baseline schemes).
+//! * [`restore_session_pipelined`] — the production path: a planner walks
+//!   the manifest and computes each container's reference window, N
+//!   fetch/parse/verify workers download containers concurrently under
+//!   the same [`RetryPolicy`] backoff/budget machinery uploads use, and
+//!   an assembler reconstructs files in manifest order from a bounded
+//!   container cache ([`aadedupe_index::LruSet`]). A container is evicted
+//!   as soon as its last referencing chunk is consumed, so peak memory is
+//!   O([`RestoreOptions::cache_capacity`]), not O(session).
+//!
+//! # Determinism contract
+//!
+//! For a fixed manifest, restored bytes and verification outcomes are
+//! identical for any worker count: the assembler consumes chunks in
+//! manifest order, and a failed container download or verification is
+//! surfaced only at the failing container's first *consumed* reference —
+//! never at arrival time, which would depend on worker scheduling.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU32, Ordering::Relaxed};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
 
 use aadedupe_cloud::CloudSim;
-use aadedupe_container::ParsedContainer;
+use aadedupe_container::{ChunkDescriptor, ParsedContainer};
 use aadedupe_hashing::Fingerprint;
+use aadedupe_index::LruSet;
+use aadedupe_obs::{Counter, Queue, Recorder, Stage, WorkerRole};
 
-use crate::recipe::Manifest;
+use crate::recipe::{FileRecipe, Manifest};
+use crate::retry::RetryPolicy;
 use crate::scheme::BackupError;
 
 /// One restored file.
@@ -24,12 +54,34 @@ pub struct RestoredFile {
     pub data: Vec<u8>,
 }
 
+/// Settings for the pipelined restore engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RestoreOptions {
+    /// Fetch/parse/verify worker threads.
+    pub workers: usize,
+    /// Maximum containers resident (fetched or in flight) at once — the
+    /// restore memory bound. When a point in the manifest references more
+    /// overlapping containers than this, the assembler evicts the
+    /// least-recently-used one and refetches it on its next reference,
+    /// trading extra GETs for the bound.
+    pub cache_capacity: usize,
+}
+
+impl Default for RestoreOptions {
+    fn default() -> Self {
+        RestoreOptions { workers: 1, cache_capacity: 16 }
+    }
+}
+
 /// The cloud object key for a scheme's container.
 pub fn container_key(scheme: &str, container: u64) -> String {
     format!("{scheme}/containers/{container:012}")
 }
 
 /// Restores every file of `session` from `scheme_key`'s cloud namespace.
+///
+/// Serial reference implementation — see the module docs; production
+/// callers use [`restore_session_pipelined`].
 pub fn restore_session(
     cloud: &CloudSim,
     scheme_key: &str,
@@ -40,8 +92,9 @@ pub fn restore_session(
     let bytes = bytes.ok_or(BackupError::UnknownSession(session as usize))?;
     let manifest = Manifest::decode(&bytes)?;
 
-    // Fetch each referenced container once.
-    let mut containers: HashMap<u64, ParsedContainer> = HashMap::new();
+    // Fetch each referenced container once, building its descriptor
+    // lookup table at parse time.
+    let mut containers: HashMap<u64, FetchedContainer> = HashMap::new();
     for f in &manifest.files {
         for c in &f.chunks {
             if let std::collections::hash_map::Entry::Vacant(slot) =
@@ -52,7 +105,8 @@ pub fn restore_session(
                 let raw = raw.ok_or_else(|| BackupError::MissingObject(key.clone()))?;
                 let parsed = ParsedContainer::parse(&raw)
                     .map_err(|e| BackupError::Corrupt(format!("{key}: {e}")))?;
-                slot.insert(parsed);
+                let map = parsed.descriptor_map();
+                slot.insert(FetchedContainer { parsed, map });
             }
         }
     }
@@ -61,37 +115,396 @@ pub fn restore_session(
     for f in &manifest.files {
         let mut data = Vec::with_capacity(f.file_len() as usize);
         for c in &f.chunks {
-            let container = containers
-                .get(&c.container)
-                .expect("prefetched above");
-            let descriptor = container
-                .descriptors
-                .iter()
-                .find(|d| d.offset == c.offset && d.fingerprint == c.fingerprint)
-                .ok_or_else(|| {
-                    BackupError::Corrupt(format!(
-                        "container {} lacks chunk {} at offset {}",
-                        c.container, c.fingerprint, c.offset
-                    ))
-                })?;
-            let chunk = container.chunk_bytes(descriptor);
-            if chunk.len() != c.len as usize {
-                return Err(BackupError::Corrupt(format!(
-                    "chunk {} length mismatch: recipe {} vs container {}",
-                    c.fingerprint,
-                    c.len,
-                    chunk.len()
-                )));
-            }
-            let recomputed = Fingerprint::compute(c.fingerprint.algorithm(), chunk);
-            if recomputed != c.fingerprint {
-                return Err(BackupError::Verification(format!(
-                    "chunk at {}:{} does not match fingerprint {}",
-                    c.container, c.offset, c.fingerprint
-                )));
-            }
+            let container = containers.get(&c.container).expect("prefetched above");
+            let descriptor = lookup_descriptor(container, c.container, c.offset, &c.fingerprint)?;
+            let chunk = container.parsed.chunk_bytes(&descriptor);
+            check_len(&c.fingerprint, c.len, &descriptor)?;
+            verify_chunk(c.container, c.offset, &c.fingerprint, chunk)?;
             data.extend_from_slice(chunk);
         }
+        out.push(RestoredFile { path: f.path.clone(), data });
+    }
+    Ok(out)
+}
+
+/// Restores every file of `session` through the pipelined bounded-memory
+/// engine. Byte-identical to [`restore_session`] for any `opts`.
+pub fn restore_session_pipelined(
+    cloud: &CloudSim,
+    scheme_key: &str,
+    session: u64,
+    opts: &RestoreOptions,
+    retry: &RetryPolicy,
+    rec: &Recorder,
+) -> Result<Vec<RestoredFile>, BackupError> {
+    let budget = AtomicU32::new(retry.session_retry_budget);
+    let manifest = fetch_manifest(cloud, scheme_key, session, retry, &budget, rec)?;
+    let files: Vec<&FileRecipe> = manifest.files.iter().collect();
+    run_pipeline(cloud, scheme_key, &files, opts, retry, &budget, rec)
+}
+
+/// Restores one file by path from `session`, fetching only the containers
+/// that file's recipe references.
+pub fn restore_file_pipelined(
+    cloud: &CloudSim,
+    scheme_key: &str,
+    session: u64,
+    path: &str,
+    opts: &RestoreOptions,
+    retry: &RetryPolicy,
+    rec: &Recorder,
+) -> Result<RestoredFile, BackupError> {
+    let budget = AtomicU32::new(retry.session_retry_budget);
+    let manifest = fetch_manifest(cloud, scheme_key, session, retry, &budget, rec)?;
+    let recipe = manifest
+        .files
+        .iter()
+        .find(|f| f.path == path)
+        .ok_or_else(|| BackupError::MissingObject(format!("session {session}: {path}")))?;
+    let mut files = run_pipeline(cloud, scheme_key, &[recipe], opts, retry, &budget, rec)?;
+    Ok(files.pop().expect("one recipe in, one file out"))
+}
+
+/// A parsed container plus its O(1) descriptor lookup table.
+struct FetchedContainer {
+    parsed: ParsedContainer,
+    map: HashMap<(u32, Fingerprint), ChunkDescriptor>,
+}
+
+/// One container's fetch/verify work order: the distinct chunk references
+/// this restore resolves against it.
+struct ContainerJob {
+    container: u64,
+    /// Distinct `(offset, fingerprint, recipe length)` references.
+    refs: Vec<(u32, Fingerprint, u32)>,
+}
+
+/// What the planner extracts from the manifest.
+struct RestorePlan {
+    /// Containers in first-reference order — the fetch issue order.
+    order: Vec<ContainerJob>,
+    /// Container id → global chunk-sequence number of its last reference
+    /// (the eviction point).
+    last_use: HashMap<u64, usize>,
+}
+
+/// Walks the recipes in manifest order, computing each container's
+/// reference window and distinct reference set.
+fn plan_restore(files: &[&FileRecipe]) -> RestorePlan {
+    let mut order: Vec<ContainerJob> = Vec::new();
+    let mut slot: HashMap<u64, usize> = HashMap::new();
+    let mut seen: HashMap<u64, HashSet<(u32, Fingerprint)>> = HashMap::new();
+    let mut last_use: HashMap<u64, usize> = HashMap::new();
+    let mut seq = 0usize;
+    for f in files {
+        for c in &f.chunks {
+            let idx = *slot.entry(c.container).or_insert_with(|| {
+                order.push(ContainerJob { container: c.container, refs: Vec::new() });
+                order.len() - 1
+            });
+            if seen.entry(c.container).or_default().insert((c.offset, c.fingerprint)) {
+                order[idx].refs.push((c.offset, c.fingerprint, c.len));
+            }
+            last_use.insert(c.container, seq);
+            seq += 1;
+        }
+    }
+    RestorePlan { order, last_use }
+}
+
+/// Fetches and decodes a session's manifest, retrying transient failures.
+fn fetch_manifest(
+    cloud: &CloudSim,
+    scheme_key: &str,
+    session: u64,
+    retry: &RetryPolicy,
+    budget: &AtomicU32,
+    rec: &Recorder,
+) -> Result<Manifest, BackupError> {
+    let mkey = Manifest::key(scheme_key, session);
+    // Jitter op_seq: outside the container-id space so the manifest's
+    // backoff schedule never collides with a container's.
+    let bytes = get_with_retry(cloud, &mkey, retry, budget, u64::MAX, rec)?;
+    let bytes = bytes.ok_or(BackupError::UnknownSession(session as usize))?;
+    Manifest::decode(&bytes)
+}
+
+/// Downloads one object, retrying transient failures under `retry` and the
+/// shared per-restore `budget`. The mirror of the engine's upload
+/// `put_with_retry`: backoff is charged to the simulated transfer clock
+/// (and optionally slept), `op_seq` feeds the deterministic jitter, and
+/// exhausting the attempts or the budget — or any permanent failure —
+/// counts a restore give-up and surfaces the backend error.
+fn get_with_retry(
+    cloud: &CloudSim,
+    key: &str,
+    policy: &RetryPolicy,
+    budget: &AtomicU32,
+    op_seq: u64,
+    rec: &Recorder,
+) -> Result<Option<Vec<u8>>, BackupError> {
+    let mut attempt = 1u32;
+    loop {
+        match cloud.get(key) {
+            Ok((bytes, _t)) => return Ok(bytes),
+            Err(e)
+                if e.transient
+                    && attempt < policy.max_attempts.max(1)
+                    && budget.fetch_update(Relaxed, Relaxed, |b| b.checked_sub(1)).is_ok() =>
+            {
+                rec.count(Counter::RestoreRetries, 1);
+                let wait = policy.backoff(attempt, op_seq);
+                cloud.charge(wait);
+                if policy.sleep && !wait.is_zero() {
+                    std::thread::sleep(wait);
+                }
+                attempt += 1;
+            }
+            Err(e) => {
+                rec.count(Counter::RestoreGiveups, 1);
+                return Err(BackupError::Cloud(format!(
+                    "{e} (attempt {attempt} of {})",
+                    policy.max_attempts.max(1)
+                )));
+            }
+        }
+    }
+}
+
+fn lookup_descriptor(
+    fc: &FetchedContainer,
+    container: u64,
+    offset: u32,
+    fp: &Fingerprint,
+) -> Result<ChunkDescriptor, BackupError> {
+    fc.map.get(&(offset, *fp)).copied().ok_or_else(|| {
+        BackupError::Corrupt(format!(
+            "container {container} lacks chunk {fp} at offset {offset}"
+        ))
+    })
+}
+
+fn check_len(fp: &Fingerprint, recipe_len: u32, d: &ChunkDescriptor) -> Result<(), BackupError> {
+    if d.len != recipe_len {
+        return Err(BackupError::Corrupt(format!(
+            "chunk {} length mismatch: recipe {} vs container {}",
+            fp, recipe_len, d.len
+        )));
+    }
+    Ok(())
+}
+
+fn verify_chunk(
+    container: u64,
+    offset: u32,
+    fp: &Fingerprint,
+    chunk: &[u8],
+) -> Result<(), BackupError> {
+    let recomputed = Fingerprint::compute(fp.algorithm(), chunk);
+    if recomputed != *fp {
+        return Err(BackupError::Verification(format!(
+            "chunk at {container}:{offset} does not match fingerprint {fp}"
+        )));
+    }
+    Ok(())
+}
+
+/// Fetches, parses and verifies one container (worker body). Verification
+/// resolves every distinct reference through the descriptor map and
+/// checks length then fingerprint — the same order, and the same error
+/// messages, as the serial engine.
+fn fetch_parse_verify(
+    cloud: &CloudSim,
+    scheme_key: &str,
+    job: &ContainerJob,
+    policy: &RetryPolicy,
+    budget: &AtomicU32,
+    rec: &Recorder,
+) -> Result<FetchedContainer, BackupError> {
+    let key = container_key(scheme_key, job.container);
+    let fetching = rec.start();
+    let raw = get_with_retry(cloud, &key, policy, budget, job.container, rec)?;
+    let raw = raw.ok_or_else(|| BackupError::MissingObject(key.clone()))?;
+    let parsed = ParsedContainer::parse(&raw)
+        .map_err(|e| BackupError::Corrupt(format!("{key}: {e}")))?;
+    let map = parsed.descriptor_map();
+    let fc = FetchedContainer { parsed, map };
+    rec.record(Stage::RestoreFetch, fetching);
+    let verifying = rec.start();
+    for (offset, fp, len) in &job.refs {
+        let d = lookup_descriptor(&fc, job.container, *offset, fp)?;
+        check_len(fp, *len, &d)?;
+        verify_chunk(job.container, *offset, fp, fc.parsed.chunk_bytes(&d))?;
+    }
+    rec.record(Stage::RestoreVerify, verifying);
+    Ok(fc)
+}
+
+/// Runs the planner → workers → assembler pipeline over `files`.
+fn run_pipeline(
+    cloud: &CloudSim,
+    scheme_key: &str,
+    files: &[&FileRecipe],
+    opts: &RestoreOptions,
+    retry: &RetryPolicy,
+    budget: &AtomicU32,
+    rec: &Recorder,
+) -> Result<Vec<RestoredFile>, BackupError> {
+    let plan = plan_restore(files);
+    let capacity = opts.cache_capacity.max(1);
+    // More workers than containers would just be idle threads.
+    let workers = opts.workers.max(1).min(plan.order.len().max(1));
+
+    let (job_tx, job_rx) = mpsc::channel::<ContainerJob>();
+    let job_rx = Arc::new(Mutex::new(job_rx));
+    let (done_tx, done_rx) = mpsc::channel::<(u64, Result<FetchedContainer, BackupError>)>();
+
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let job_rx = Arc::clone(&job_rx);
+            let done_tx = done_tx.clone();
+            scope.spawn(move || {
+                let mut busy = Duration::ZERO;
+                let mut idle = Duration::ZERO;
+                loop {
+                    let waiting = rec.start();
+                    let job = job_rx.lock().unwrap_or_else(|e| e.into_inner()).recv();
+                    let Ok(job) = job else { break };
+                    if let Some(t) = waiting {
+                        idle += t.elapsed();
+                    }
+                    let working = rec.start();
+                    let result = fetch_parse_verify(cloud, scheme_key, &job, retry, budget, rec);
+                    if let Some(t) = working {
+                        busy += t.elapsed();
+                    }
+                    // A closed completion channel means the assembler
+                    // aborted; drain out quietly.
+                    if done_tx.send((job.container, result)).is_err() {
+                        break;
+                    }
+                }
+                rec.worker_report(WorkerRole::Restorer, w, busy, idle);
+            });
+        }
+        drop(done_tx);
+        // Runs on this thread; dropping `job_tx` on return shuts the
+        // workers down and the scope joins them.
+        assemble(files, plan, job_tx, &done_rx, capacity, rec)
+    })
+}
+
+/// Keeps up to `capacity` containers issued-or-resident. Issue order is
+/// first-use order, so the window always prefetches what assembly needs
+/// next. A send can only fail after a worker panic; the next completion
+/// recv surfaces that.
+fn top_up(
+    pending: &mut VecDeque<ContainerJob>,
+    in_flight: &mut HashSet<u64>,
+    resident_len: usize,
+    capacity: usize,
+    job_tx: &mpsc::Sender<ContainerJob>,
+) {
+    while in_flight.len() + resident_len < capacity {
+        let Some(job) = pending.pop_front() else { break };
+        in_flight.insert(job.container);
+        if job_tx.send(job).is_err() {
+            break;
+        }
+    }
+}
+
+/// Reconstructs the files in manifest order from worker completions,
+/// holding at most `capacity` containers resident.
+fn assemble(
+    files: &[&FileRecipe],
+    plan: RestorePlan,
+    job_tx: mpsc::Sender<ContainerJob>,
+    done_rx: &mpsc::Receiver<(u64, Result<FetchedContainer, BackupError>)>,
+    capacity: usize,
+    rec: &Recorder,
+) -> Result<Vec<RestoredFile>, BackupError> {
+    let RestorePlan { order, last_use } = plan;
+    // Reference sets are kept so a force-evicted container can be
+    // re-issued — O(distinct refs), not container data.
+    let spare_refs: HashMap<u64, Vec<(u32, Fingerprint, u32)>> =
+        order.iter().map(|j| (j.container, j.refs.clone())).collect();
+    let mut pending: VecDeque<ContainerJob> = order.into();
+    let mut in_flight: HashSet<u64> = HashSet::new();
+    let mut resident: LruSet<u64> = LruSet::new(capacity);
+    let mut cache: HashMap<u64, FetchedContainer> = HashMap::new();
+    // Failed downloads/verifications, raised only when (and if) consumed.
+    let mut failed: HashMap<u64, BackupError> = HashMap::new();
+
+    top_up(&mut pending, &mut in_flight, resident.len(), capacity, &job_tx);
+
+    let mut out = Vec::with_capacity(files.len());
+    let mut seq = 0usize;
+    for f in files {
+        let assembling = rec.start();
+        let mut data = Vec::with_capacity(f.file_len() as usize);
+        for c in &f.chunks {
+            while !cache.contains_key(&c.container) {
+                if let Some(e) = failed.remove(&c.container) {
+                    return Err(e);
+                }
+                if !in_flight.contains(&c.container) {
+                    // Its turn in issue order came while the window was
+                    // full, or it was force-evicted earlier: issue it now,
+                    // ahead of the window accounting.
+                    let job = match pending.front() {
+                        Some(j) if j.container == c.container => {
+                            pending.pop_front().expect("front exists")
+                        }
+                        _ => ContainerJob {
+                            container: c.container,
+                            refs: spare_refs[&c.container].clone(),
+                        },
+                    };
+                    in_flight.insert(c.container);
+                    let _ = job_tx.send(job);
+                }
+                let (id, result) = done_rx
+                    .recv()
+                    .map_err(|_| BackupError::Cloud("restore workers exited early".into()))?;
+                in_flight.remove(&id);
+                match result {
+                    Ok(fc) => {
+                        if resident.len() == capacity {
+                            // Over-capacity admission (more overlapping
+                            // containers than cache slots): evict the
+                            // least-recently-used resident container; it
+                            // is refetched if referenced again.
+                            let victim = *resident.peek_lru().expect("cache is full");
+                            resident.remove(&victim);
+                            cache.remove(&victim);
+                            rec.queue_pop(Queue::RestoreCache);
+                        }
+                        rec.queue_push(Queue::RestoreCache);
+                        resident.insert(id);
+                        cache.insert(id, fc);
+                    }
+                    Err(e) => {
+                        failed.insert(id, e);
+                    }
+                }
+                top_up(&mut pending, &mut in_flight, resident.len(), capacity, &job_tx);
+            }
+            let fc = &cache[&c.container];
+            resident.touch(&c.container);
+            let d = lookup_descriptor(fc, c.container, c.offset, &c.fingerprint)?;
+            check_len(&c.fingerprint, c.len, &d)?;
+            data.extend_from_slice(fc.parsed.chunk_bytes(&d));
+            if last_use.get(&c.container) == Some(&seq) {
+                // Last referencing chunk consumed: free the slot.
+                resident.remove(&c.container);
+                cache.remove(&c.container);
+                rec.queue_pop(Queue::RestoreCache);
+                top_up(&mut pending, &mut in_flight, resident.len(), capacity, &job_tx);
+            }
+            seq += 1;
+        }
+        rec.record(Stage::RestoreAssemble, assembling);
         out.push(RestoredFile { path: f.path.clone(), data });
     }
     Ok(out)
@@ -138,6 +551,21 @@ mod tests {
         (cloud, chunks)
     }
 
+    fn pipelined(
+        cloud: &CloudSim,
+        session: u64,
+        workers: usize,
+    ) -> Result<Vec<RestoredFile>, BackupError> {
+        restore_session_pipelined(
+            cloud,
+            "test",
+            session,
+            &RestoreOptions { workers, cache_capacity: 2 },
+            &RetryPolicy::default(),
+            &Recorder::disabled(),
+        )
+    }
+
     #[test]
     fn restores_bit_exact() {
         let (cloud, chunks) = setup();
@@ -149,12 +577,48 @@ mod tests {
     }
 
     #[test]
+    fn pipelined_matches_serial() {
+        let (cloud, _) = setup();
+        let serial = restore_session(&cloud, "test", 0).unwrap();
+        for workers in [1, 2, 4] {
+            assert_eq!(pipelined(&cloud, 0, workers).unwrap(), serial, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn pipelined_restore_file_finds_one_file() {
+        let (cloud, chunks) = setup();
+        let file = restore_file_pipelined(
+            &cloud,
+            "test",
+            0,
+            "user/txt/a.txt",
+            &RestoreOptions::default(),
+            &RetryPolicy::default(),
+            &Recorder::disabled(),
+        )
+        .unwrap();
+        assert_eq!(file.data, chunks.concat());
+        let missing = restore_file_pipelined(
+            &cloud,
+            "test",
+            0,
+            "no/such/file",
+            &RestoreOptions::default(),
+            &RetryPolicy::default(),
+            &Recorder::disabled(),
+        );
+        assert!(matches!(missing.unwrap_err(), BackupError::MissingObject(_)));
+    }
+
+    #[test]
     fn unknown_session() {
         let (cloud, _) = setup();
         assert_eq!(
             restore_session(&cloud, "test", 5).unwrap_err(),
             BackupError::UnknownSession(5)
         );
+        assert_eq!(pipelined(&cloud, 5, 2).unwrap_err(), BackupError::UnknownSession(5));
     }
 
     #[test]
@@ -168,6 +632,12 @@ mod tests {
             restore_session(&cloud, "test", 0).unwrap_err(),
             BackupError::MissingObject(_)
         ));
+        for workers in [1, 4] {
+            assert!(matches!(
+                pipelined(&cloud, 0, workers).unwrap_err(),
+                BackupError::MissingObject(_)
+            ));
+        }
     }
 
     #[test]
@@ -188,6 +658,13 @@ mod tests {
             matches!(err, BackupError::Verification(_) | BackupError::Corrupt(_)),
             "{err:?}"
         );
+        for workers in [1, 4] {
+            let perr = pipelined(&cloud, 0, workers).unwrap_err();
+            assert!(
+                matches!(perr, BackupError::Verification(_) | BackupError::Corrupt(_)),
+                "workers={workers}: {perr:?}"
+            );
+        }
     }
 
     #[test]
@@ -199,5 +676,37 @@ mod tests {
             restore_session(&cloud, "test", 0).unwrap_err(),
             BackupError::Corrupt(_)
         ));
+        assert!(matches!(pipelined(&cloud, 0, 2).unwrap_err(), BackupError::Corrupt(_)));
+    }
+
+    #[test]
+    fn planner_windows_and_dedups_references() {
+        let fp = |b: &[u8]| Fingerprint::compute(HashAlgorithm::Md5, b);
+        let chunk = |container: u64, offset: u32, data: &[u8]| ChunkRef {
+            fingerprint: fp(data),
+            len: data.len() as u32,
+            container,
+            offset,
+        };
+        let file = FileRecipe {
+            path: "f".into(),
+            app: AppType::Txt,
+            tiny: false,
+            // Containers first used in order 7, 3, 7 again (duplicate
+            // reference), then 9.
+            chunks: vec![
+                chunk(7, 0, b"a"),
+                chunk(3, 0, b"b"),
+                chunk(7, 0, b"a"),
+                chunk(9, 4, b"c"),
+            ],
+        };
+        let plan = plan_restore(&[&file]);
+        let ids: Vec<u64> = plan.order.iter().map(|j| j.container).collect();
+        assert_eq!(ids, vec![7, 3, 9], "first-use order");
+        assert_eq!(plan.order[0].refs.len(), 1, "duplicate reference deduplicated");
+        assert_eq!(plan.last_use[&7], 2, "evicted after its second use");
+        assert_eq!(plan.last_use[&3], 1);
+        assert_eq!(plan.last_use[&9], 3);
     }
 }

@@ -1,5 +1,6 @@
-//! Upload retry policy: bounded exponential backoff with deterministic
-//! jitter and a per-session retry budget.
+//! Transfer retry policy: bounded exponential backoff with deterministic
+//! jitter and a per-session retry budget. Uploads and restore downloads
+//! share it — a flaky endpoint looks the same from both directions.
 //!
 //! The engine retries only failures the backend classifies as
 //! *transient* ([`BackendError::transient`]); permanent failures abort
@@ -8,13 +9,16 @@
 //! thundering-herd a recovering endpoint — yet the same seed and attempt
 //! sequence always produces the same waits, keeping fault-drill tests
 //! exactly reproducible. The per-session budget bounds the total time a
-//! backup can spend retrying before it gives up and reports failure.
+//! backup (or a restore — each restore call gets a fresh budget, shared
+//! across its fetch workers) can spend retrying before it gives up and
+//! reports failure.
 //!
 //! [`BackendError::transient`]: aadedupe_cloud::BackendError
 
 use std::time::Duration;
 
-/// Retry/backoff settings for cloud uploads.
+/// Retry/backoff settings for cloud transfers (uploads and restore
+/// downloads).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// Attempts per object (1 = no retries).
@@ -23,7 +27,8 @@ pub struct RetryPolicy {
     pub base_backoff: Duration,
     /// Backoff ceiling.
     pub max_backoff: Duration,
-    /// Total retries a single session may spend across all uploads.
+    /// Total retries a single session may spend across all transfers
+    /// (each restore call draws on its own fresh budget).
     pub session_retry_budget: u32,
     /// Seed for the deterministic jitter.
     pub jitter_seed: u64,
@@ -52,7 +57,7 @@ impl RetryPolicy {
         RetryPolicy { max_attempts: 1, session_retry_budget: 0, ..RetryPolicy::default() }
     }
 
-    /// The wait before retry number `attempt` (1-based) of upload number
+    /// The wait before retry number `attempt` (1-based) of transfer number
     /// `op`: exponential in `attempt`, half of it jittered by a hash of
     /// `(jitter_seed, op, attempt)` — deterministic for a fixed seed.
     pub fn backoff(&self, attempt: u32, op: u64) -> Duration {

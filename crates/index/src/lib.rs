@@ -28,6 +28,7 @@ pub mod monolithic;
 pub mod partition;
 
 pub use appaware::AppAwareIndex;
+pub use lru::LruSet;
 pub use monolithic::MonolithicIndex;
 pub use partition::{IndexPartition, LookupOutcome};
 

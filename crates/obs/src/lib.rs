@@ -62,11 +62,17 @@ pub enum Stage {
     TinyPack,
     /// Shipping sealed containers, the manifest, and index snapshots.
     Upload,
+    /// Downloading (and parsing) one container during a restore.
+    RestoreFetch,
+    /// Verifying the referenced chunks of one fetched container.
+    RestoreVerify,
+    /// Reassembling one file from cached containers, in manifest order.
+    RestoreAssemble,
 }
 
 impl Stage {
     /// Every stage, in dataflow order.
-    pub const ALL: [Stage; 8] = [
+    pub const ALL: [Stage; 11] = [
         Stage::Classify,
         Stage::Chunk,
         Stage::Hash,
@@ -75,6 +81,9 @@ impl Stage {
         Stage::ContainerSeal,
         Stage::TinyPack,
         Stage::Upload,
+        Stage::RestoreFetch,
+        Stage::RestoreVerify,
+        Stage::RestoreAssemble,
     ];
 
     /// Stable snake_case name (the JSON key).
@@ -88,6 +97,9 @@ impl Stage {
             Stage::ContainerSeal => "container_seal",
             Stage::TinyPack => "tiny_pack",
             Stage::Upload => "upload",
+            Stage::RestoreFetch => "restore_fetch",
+            Stage::RestoreVerify => "restore_verify",
+            Stage::RestoreAssemble => "restore_assemble",
         }
     }
 }
@@ -130,11 +142,16 @@ pub enum Counter {
     /// Unreferenced containers garbage-collected on engine open (crash
     /// leftovers from sessions whose manifest never committed).
     OrphansSwept,
+    /// Restore downloads retried after a transient backend failure.
+    RestoreRetries,
+    /// Restore downloads abandoned (permanent failure, attempts or budget
+    /// exhausted).
+    RestoreGiveups,
 }
 
 impl Counter {
     /// Every counter.
-    pub const ALL: [Counter; 16] = [
+    pub const ALL: [Counter; 18] = [
         Counter::FilesClassified,
         Counter::ChunksCdc,
         Counter::ChunksSc,
@@ -151,6 +168,8 @@ impl Counter {
         Counter::UploadRetries,
         Counter::UploadGiveups,
         Counter::OrphansSwept,
+        Counter::RestoreRetries,
+        Counter::RestoreGiveups,
     ];
 
     /// Stable snake_case name (the JSON key).
@@ -172,6 +191,8 @@ impl Counter {
             Counter::UploadRetries => "upload_retries",
             Counter::UploadGiveups => "upload_giveups",
             Counter::OrphansSwept => "orphans_swept",
+            Counter::RestoreRetries => "restore_retries",
+            Counter::RestoreGiveups => "restore_giveups",
         }
     }
 }
@@ -186,11 +207,15 @@ pub enum Queue {
     Shards,
     /// Shards/tiny-packer → single-writer appender backlog.
     Appender,
+    /// Containers resident in the restore assembler's bounded cache — the
+    /// high-water mark proves the O(cache) restore memory bound.
+    RestoreCache,
 }
 
 impl Queue {
     /// Every queue.
-    pub const ALL: [Queue; 3] = [Queue::Jobs, Queue::Shards, Queue::Appender];
+    pub const ALL: [Queue; 4] =
+        [Queue::Jobs, Queue::Shards, Queue::Appender, Queue::RestoreCache];
 
     /// Stable snake_case name (the JSON key).
     pub const fn name(self) -> &'static str {
@@ -198,6 +223,7 @@ impl Queue {
             Queue::Jobs => "jobs",
             Queue::Shards => "shards",
             Queue::Appender => "appender",
+            Queue::RestoreCache => "restore_cache",
         }
     }
 }
@@ -211,6 +237,8 @@ pub enum WorkerRole {
     Shard,
     /// The single-writer container appender.
     Appender,
+    /// A restore fetch/parse/verify worker.
+    Restorer,
 }
 
 impl WorkerRole {
@@ -220,6 +248,7 @@ impl WorkerRole {
             WorkerRole::Chunker => "chunker",
             WorkerRole::Shard => "shard",
             WorkerRole::Appender => "appender",
+            WorkerRole::Restorer => "restorer",
         }
     }
 }

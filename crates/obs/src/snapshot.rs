@@ -309,6 +309,11 @@ impl Snapshot {
             self.counter(Counter::UploadRetries),
             self.counter(Counter::UploadGiveups)
         ));
+        out.push_str(&format!(
+            "restore retries {}, give-ups {}\n",
+            self.counter(Counter::RestoreRetries),
+            self.counter(Counter::RestoreGiveups)
+        ));
         let orphans = self.counter(Counter::OrphansSwept);
         if orphans > 0 {
             out.push_str(&format!("orphaned containers swept {orphans}\n"));

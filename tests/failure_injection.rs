@@ -382,6 +382,286 @@ fn crash_at_every_operation_leaves_a_recoverable_repository() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Restore fault drills: injected GET failures against the pipelined
+// bounded-memory restore engine, and the delete-session crash sweep.
+// ---------------------------------------------------------------------------
+
+use aa_dedupe::core::{restore_session_pipelined, RestoreOptions, RestoredFile};
+
+/// A clean one-session repository over a bare [`ObjectStore`], so restore
+/// drills can wrap the store in faults without the backup seeing them.
+fn clean_repository() -> (Arc<ObjectStore>, Vec<MemoryFile>) {
+    let inner = Arc::new(ObjectStore::new());
+    let mut engine = AaDedupe::new(cloud_over(Arc::clone(&inner) as Arc<dyn ObjectBackend>));
+    let files = drill_files();
+    let sources: Vec<&dyn SourceFile> = files.iter().map(|f| f as &dyn SourceFile).collect();
+    engine.backup_session(&sources).expect("clean backup");
+    (inner, files)
+}
+
+fn assert_files_bit_exact(restored: &[RestoredFile], expect: &[MemoryFile], label: &str) {
+    let by_path: BTreeMap<_, _> =
+        restored.iter().map(|f| (f.path.as_str(), f.data.as_slice())).collect();
+    assert_eq!(by_path.len(), expect.len(), "{label}: file count");
+    for f in expect {
+        assert_eq!(by_path.get(f.path.as_str()), Some(&f.data.as_slice()), "{label}: {}", f.path);
+    }
+}
+
+#[test]
+fn restore_transient_fault_at_every_fetch_point_retries_to_success() {
+    for workers in [1usize, 4] {
+        let (inner, files) = clean_repository();
+        // Every GET in the namespace fails exactly once before succeeding —
+        // hits the manifest and every container alike.
+        let faulty = Arc::new(FaultInjectingBackend::new(
+            Arc::clone(&inner) as Arc<dyn ObjectBackend>,
+            FaultPlan::new(7).fail_prefix_gets("aa-dedupe/", 1, true),
+        ));
+        let cloud = cloud_over(faulty.clone() as Arc<dyn ObjectBackend>);
+        let rec = Recorder::new();
+        let restored = restore_session_pipelined(
+            &cloud,
+            "aa-dedupe",
+            0,
+            &RestoreOptions { workers, cache_capacity: 16 },
+            &RetryPolicy::default(),
+            &rec,
+        )
+        .expect("transient faults must be survivable");
+        assert_files_bit_exact(&restored, &files, &format!("workers={workers}"));
+
+        // Exactly one retry per fetched key: the manifest plus each
+        // distinct container, no more (each refetch, if any, is clean).
+        let containers = inner.list("aa-dedupe/containers/").len() as u64;
+        assert!(containers > 0);
+        let snap = rec.snapshot();
+        assert_eq!(
+            snap.counter(Counter::RestoreRetries),
+            1 + containers,
+            "workers={workers}: one retry for the manifest and one per container"
+        );
+        assert_eq!(snap.counter(Counter::RestoreGiveups), 0, "workers={workers}");
+        assert_eq!(faulty.faults_injected(), 1 + containers, "workers={workers}");
+    }
+}
+
+#[test]
+fn restore_permanent_fault_aborts_cleanly_and_deterministically() {
+    // Permanent container GET failures: no retries, a clean abort (no
+    // partial result), and — the determinism contract — the same error for
+    // every worker count, surfaced at the first consumed reference.
+    let mut errors = Vec::new();
+    for workers in [1usize, 4] {
+        let (inner, _) = clean_repository();
+        let faulty: Arc<dyn ObjectBackend> = Arc::new(FaultInjectingBackend::new(
+            Arc::clone(&inner) as Arc<dyn ObjectBackend>,
+            FaultPlan::new(7).fail_prefix_gets("aa-dedupe/containers/", u32::MAX, false),
+        ));
+        let rec = Recorder::new();
+        let err = restore_session_pipelined(
+            &cloud_over(faulty),
+            "aa-dedupe",
+            0,
+            &RestoreOptions { workers, cache_capacity: 16 },
+            &RetryPolicy::default(),
+            &rec,
+        )
+        .expect_err("permanent fault must abort");
+        assert!(matches!(err, BackupError::Cloud(_)), "workers={workers}: {err:?}");
+        let snap = rec.snapshot();
+        assert_eq!(snap.counter(Counter::RestoreRetries), 0, "permanent errors are not retried");
+        assert!(snap.counter(Counter::RestoreGiveups) >= 1, "workers={workers}");
+        errors.push(err.to_string());
+    }
+    assert_eq!(errors[0], errors[1], "the surfaced error must not depend on worker count");
+}
+
+#[test]
+fn restore_corruption_detected_identically_across_worker_counts() {
+    // One corrupted container in the middle of a parallel restore: every
+    // worker count must report the same verification failure the serial
+    // oracle does.
+    let (inner, _) = clean_repository();
+    let keys = inner.list("aa-dedupe/containers/");
+    let key = keys.last().expect("containers exist");
+    let raw = inner.get(key).unwrap().unwrap();
+    let parsed = aa_dedupe::container::ParsedContainer::parse(&raw).unwrap();
+    let desc_len: usize = parsed.descriptors.iter().map(|d| d.encoded_len()).sum();
+    let target = aa_dedupe::container::format::HEADER_LEN
+        + desc_len
+        + parsed.descriptors[0].offset as usize;
+    assert!(inner.corrupt(key, target));
+
+    let cloud = cloud_over(Arc::clone(&inner) as Arc<dyn ObjectBackend>);
+    let serial_err =
+        aa_dedupe::core::restore_session(&cloud, "aa-dedupe", 0).expect_err("oracle detects it");
+    for workers in [1usize, 4] {
+        let err = restore_session_pipelined(
+            &cloud,
+            "aa-dedupe",
+            0,
+            &RestoreOptions { workers, cache_capacity: 16 },
+            &RetryPolicy::default(),
+            &Recorder::disabled(),
+        )
+        .expect_err("must detect corruption");
+        assert!(
+            matches!(err, BackupError::Verification(_) | BackupError::Corrupt(_)),
+            "workers={workers}: {err:?}"
+        );
+        assert_eq!(
+            err.to_string(),
+            serial_err.to_string(),
+            "workers={workers}: pipelined error must match the serial oracle"
+        );
+    }
+}
+
+#[test]
+fn restore_retry_budget_exhaustion_gives_up() {
+    let (inner, _) = clean_repository();
+    let faulty: Arc<dyn ObjectBackend> = Arc::new(FaultInjectingBackend::new(
+        Arc::clone(&inner) as Arc<dyn ObjectBackend>,
+        FaultPlan::new(3).fail_prefix_gets("aa-dedupe/", u32::MAX, true),
+    ));
+    let rec = Recorder::new();
+    let policy = RetryPolicy { max_attempts: 3, session_retry_budget: 2, ..RetryPolicy::default() };
+    let err = restore_session_pipelined(
+        &cloud_over(faulty),
+        "aa-dedupe",
+        0,
+        &RestoreOptions::default(),
+        &policy,
+        &rec,
+    )
+    .expect_err("budget exhausted");
+    assert!(matches!(err, BackupError::Cloud(_)), "{err:?}");
+    let snap = rec.snapshot();
+    assert_eq!(snap.counter(Counter::RestoreRetries), 2, "whole restore budget spent");
+    assert_eq!(snap.counter(Counter::RestoreGiveups), 1);
+}
+
+#[test]
+fn delete_crash_at_every_operation_never_strands_a_listed_session() {
+    // The delete commit protocol: the manifest delete is the un-commit
+    // point. Crash-stopping the backend at every operation of a deletion
+    // must leave the repository in one of exactly two states — the session
+    // still fully restorable (un-commit never happened) or gone with its
+    // exclusive containers reclaimable — and must never damage the other
+    // session, which shares containers with the deleted one.
+    let files = drill_files();
+    let changed = changed_files();
+    let two_sessions = |inner: &Arc<ObjectStore>| {
+        let mut e = AaDedupe::with_config(
+            cloud_over(Arc::clone(inner) as Arc<dyn ObjectBackend>),
+            config_with(1, RetryPolicy::no_retries(), None),
+        );
+        let sources: Vec<&dyn SourceFile> = files.iter().map(|f| f as &dyn SourceFile).collect();
+        e.backup_session(&sources).expect("clean session 0");
+        let sources: Vec<&dyn SourceFile> = changed.iter().map(|f| f as &dyn SourceFile).collect();
+        e.backup_session(&sources).expect("clean session 1");
+    };
+
+    // Dry run to learn how many backend operations open + delete perform.
+    let total_ops = {
+        let inner = Arc::new(ObjectStore::new());
+        two_sessions(&inner);
+        let counting = Arc::new(FaultInjectingBackend::new(
+            Arc::clone(&inner) as Arc<dyn ObjectBackend>,
+            FaultPlan::new(0),
+        ));
+        let mut e = AaDedupe::open(
+            cloud_over(counting.clone() as Arc<dyn ObjectBackend>),
+            config_with(1, RetryPolicy::no_retries(), None),
+        )
+        .expect("open");
+        e.delete_session(0).expect("clean delete");
+        counting.ops_attempted()
+    };
+    assert!(total_ops >= 3, "expected open+delete traffic, got {total_ops}");
+
+    for crash_at in 1..=total_ops {
+        let inner = Arc::new(ObjectStore::new());
+        two_sessions(&inner);
+        let crashing = Arc::new(FaultInjectingBackend::new(
+            Arc::clone(&inner) as Arc<dyn ObjectBackend>,
+            FaultPlan::new(0).crash_at_op(crash_at),
+        ));
+        let deleted = match AaDedupe::open(
+            cloud_over(crashing.clone() as Arc<dyn ObjectBackend>),
+            config_with(1, RetryPolicy::no_retries(), None),
+        ) {
+            Ok(mut e) => match e.delete_session(0) {
+                Ok(()) => {
+                    // Ok means the un-commit committed: the manifest is
+                    // gone, and any container whose delete the crash ate is
+                    // recorded as sweep debt, still present in the store.
+                    assert!(
+                        !inner.contains("aa-dedupe/manifests/00000000"),
+                        "crash_at={crash_at}: Ok delete must have removed the manifest"
+                    );
+                    for id in e.sweep_debt() {
+                        assert!(
+                            inner.contains(&format!("aa-dedupe/containers/{id:012}")),
+                            "crash_at={crash_at}: sweep debt {id} should still exist"
+                        );
+                    }
+                    true
+                }
+                Err(_) => {
+                    // Err can only arise before the manifest delete
+                    // succeeded; nothing may have been mutated.
+                    assert!(
+                        inner.contains("aa-dedupe/manifests/00000000"),
+                        "crash_at={crash_at}: failed delete must leave the manifest intact"
+                    );
+                    false
+                }
+            },
+            Err(_) => false, // crash during open: delete never started
+        };
+
+        // Recovery: reopen over the bare store. Session 1 must always be
+        // restorable; session 0 exactly when its manifest survived; and the
+        // orphan sweep must leave only referenced containers behind.
+        let e = AaDedupe::open(
+            cloud_over(Arc::clone(&inner) as Arc<dyn ObjectBackend>),
+            config_with(1, RetryPolicy::no_retries(), None),
+        )
+        .unwrap_or_else(|err| panic!("crash_at={crash_at}: reopen failed: {err}"));
+        let sessions = e.list_sessions();
+        assert!(sessions.contains(&1), "crash_at={crash_at}");
+        assert_restores_bit_exact(&e, 1, &changed);
+        if deleted {
+            assert!(!sessions.contains(&0), "crash_at={crash_at}");
+            // Every surviving container is referenced by the surviving
+            // manifest — the sweep debt was reclaimed as orphans.
+            let manifest_bytes = inner
+                .get(&aa_dedupe::core::Manifest::key("aa-dedupe", 1))
+                .unwrap()
+                .expect("manifest 1");
+            let manifest = aa_dedupe::core::Manifest::decode(&manifest_bytes).expect("decode");
+            let referenced: std::collections::HashSet<String> = manifest
+                .files
+                .iter()
+                .flat_map(|f| f.chunks.iter())
+                .map(|c| format!("aa-dedupe/containers/{:012}", c.container))
+                .collect();
+            for key in inner.list("aa-dedupe/containers/") {
+                assert!(
+                    referenced.contains(&key),
+                    "crash_at={crash_at}: unreferenced container {key} survived the sweep"
+                );
+            }
+        } else {
+            assert!(sessions.contains(&0), "crash_at={crash_at}");
+            assert_restores_bit_exact(&e, 0, &files);
+        }
+    }
+}
+
 #[test]
 fn recovered_engine_continues_the_session_sequence() {
     // Regression test: after disaster recovery the session counter must

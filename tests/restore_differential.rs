@@ -1,0 +1,291 @@
+//! Differential test: the pipelined bounded-memory restore engine must be
+//! observationally identical to the serial restore oracle.
+//!
+//! For a fixed manifest, `restore_session_pipelined` with any worker
+//! count and any cache capacity must return — bit for bit — the same
+//! files in the same order as `restore_session`, and `restore_file` must
+//! match the corresponding entry. This is the restore determinism
+//! contract of DESIGN.md §11; any scheduling-dependent divergence in
+//! fetch order, cache eviction or error surfacing shows up here.
+//!
+//! Set `AA_DIFF_WORKERS=1,4` (comma-separated) to restrict the worker
+//! matrix — used by CI to split the sweep across jobs.
+
+use std::sync::Arc;
+
+use aa_dedupe::cloud::{
+    BackendError, CloudSim, ObjectBackend, ObjectStore, ObjectStoreStats, PriceModel, WanModel,
+};
+use aa_dedupe::core::{
+    restore_session, restore_session_pipelined, AaDedupe, AaDedupeConfig, BackupScheme, Manifest,
+    PipelineConfig, RestoreOptions, RestoredFile, RetryPolicy,
+};
+use aa_dedupe::filetype::{MemoryFile, SourceFile};
+use aa_dedupe::obs::{Queue, Recorder};
+use aa_dedupe::workload::{DatasetSpec, Generator, Snapshot};
+
+const SEEDS: [u64; 3] = [11, 42, 1337];
+const SESSIONS: usize = 2;
+const SCHEME: &str = "aa-dedupe";
+
+fn worker_matrix() -> Vec<usize> {
+    match std::env::var("AA_DIFF_WORKERS") {
+        Ok(s) => s
+            .split(',')
+            .map(|w| w.trim().parse().expect("AA_DIFF_WORKERS entries must be integers"))
+            .collect(),
+        Err(_) => vec![1, 2, 4, 8],
+    }
+}
+
+fn backed_up(sessions: &[Vec<&dyn SourceFile>]) -> CloudSim {
+    let mut engine = AaDedupe::with_config(
+        CloudSim::with_paper_defaults(),
+        AaDedupeConfig { pipeline: PipelineConfig::with_workers(4), ..AaDedupeConfig::default() },
+    );
+    for sources in sessions {
+        engine.backup_session(sources).expect("backup");
+    }
+    engine.cloud().clone()
+}
+
+fn pipelined(
+    cloud: &CloudSim,
+    session: u64,
+    workers: usize,
+    cache: usize,
+) -> Vec<RestoredFile> {
+    restore_session_pipelined(
+        cloud,
+        SCHEME,
+        session,
+        &RestoreOptions { workers, cache_capacity: cache },
+        &RetryPolicy::default(),
+        &Recorder::disabled(),
+    )
+    .unwrap_or_else(|e| panic!("workers={workers} cache={cache}: {e}"))
+}
+
+#[test]
+fn pipelined_matches_serial_across_seeds_workers_and_caches() {
+    for seed in SEEDS {
+        let mut generator = Generator::new(DatasetSpec::tiny_test(), seed);
+        let snaps: Vec<Snapshot> = (0..SESSIONS).map(|w| generator.snapshot(w)).collect();
+        let sessions: Vec<Vec<&dyn SourceFile>> = snaps.iter().map(|s| s.as_sources()).collect();
+        let cloud = backed_up(&sessions);
+        for session in 0..SESSIONS as u64 {
+            let serial = restore_session(&cloud, SCHEME, session).expect("serial oracle");
+            for workers in worker_matrix() {
+                // A roomy cache and a pathologically tight one must agree:
+                // capacity changes GET traffic, never bytes.
+                for cache in [16usize, 2] {
+                    let label = format!("seed={seed} s={session} workers={workers} cache={cache}");
+                    let para = pipelined(&cloud, session, workers, cache);
+                    assert_eq!(serial.len(), para.len(), "{label}: file count");
+                    for (s, p) in serial.iter().zip(&para) {
+                        assert_eq!(s.path, p.path, "{label}: order/path");
+                        assert_eq!(s.data, p.data, "{label}: bytes of {}", s.path);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn restore_file_matches_the_session_entry_for_every_path() {
+    let mut generator = Generator::new(DatasetSpec::tiny_test(), SEEDS[1]);
+    let snap = generator.snapshot(0);
+    let sessions = vec![snap.as_sources()];
+    let cloud = backed_up(&sessions);
+    let serial = restore_session(&cloud, SCHEME, 0).expect("serial oracle");
+    assert!(!serial.is_empty());
+    let engine = AaDedupe::open(cloud, AaDedupeConfig::default()).expect("open");
+    for workers in worker_matrix() {
+        let mut e = engine.config().clone();
+        e.restore = RestoreOptions { workers, ..RestoreOptions::default() };
+        let engine = AaDedupe::open(engine.cloud().clone(), e).expect("open");
+        for expect in &serial {
+            let got = engine
+                .restore_file(0, &expect.path)
+                .unwrap_or_else(|e| panic!("workers={workers} {}: {e}", expect.path));
+            assert_eq!(&got, expect, "workers={workers}");
+        }
+    }
+}
+
+#[test]
+fn restore_file_fetches_only_that_files_containers() {
+    // The single-file regression: restoring one file must GET exactly
+    // 1 (manifest) + the file's distinct container count — not the whole
+    // session's container set.
+    let inner = Arc::new(ObjectStore::new());
+    let cloud = CloudSim::with_backend(
+        Arc::clone(&inner) as Arc<dyn ObjectBackend>,
+        WanModel::paper_defaults(),
+        PriceModel::s3_april_2011(),
+    );
+    // Small containers so the session spans many of them and a single
+    // file references a strict subset.
+    let config = AaDedupeConfig { container_size: 16 * 1024, ..AaDedupeConfig::default() };
+    let mut engine = AaDedupe::with_config(cloud, config);
+    let files = [
+        MemoryFile::new("user/doc/a.doc", b"important words ".repeat(8000)),
+        MemoryFile::new("user/pdf/b.pdf", (0..160_000u32).map(|i| (i % 241) as u8).collect()),
+        MemoryFile::new("user/mp3/c.mp3", (0..120_000u32).map(|i| (i % 249) as u8).collect()),
+    ];
+    let sources: Vec<&dyn SourceFile> = files.iter().map(|f| f as &dyn SourceFile).collect();
+    engine.backup_session(&sources).expect("backup");
+
+    let manifest_bytes =
+        inner.get(&Manifest::key(SCHEME, 0)).unwrap().expect("manifest committed");
+    let manifest = Manifest::decode(&manifest_bytes).expect("decode");
+    let session_containers: std::collections::HashSet<u64> =
+        manifest.files.iter().flat_map(|f| f.chunks.iter().map(|c| c.container)).collect();
+
+    for f in &manifest.files {
+        let file_containers: std::collections::HashSet<u64> =
+            f.chunks.iter().map(|c| c.container).collect();
+        let before = inner.stats().get_requests;
+        let restored = engine.restore_file(0, &f.path).expect("restore_file");
+        let gets = inner.stats().get_requests - before;
+        assert_eq!(
+            gets,
+            1 + file_containers.len() as u64,
+            "{}: one manifest GET plus one GET per distinct container",
+            f.path
+        );
+        let original = files.iter().find(|m| m.path == f.path).expect("source file");
+        assert_eq!(restored.data, original.data, "{}", f.path);
+    }
+    // The point of the fix: at least one file references strictly fewer
+    // containers than the session, so per-file GETs really are a subset.
+    assert!(
+        manifest.files.iter().any(|f| {
+            let n: std::collections::HashSet<u64> =
+                f.chunks.iter().map(|c| c.container).collect();
+            n.len() < session_containers.len()
+        }),
+        "workload too small to distinguish per-file from per-session fetching"
+    );
+}
+
+#[test]
+fn cache_capacity_bounds_resident_containers() {
+    // A session referencing far more containers than the cache holds must
+    // restore correctly while never keeping more than `cache_capacity`
+    // containers resident — the RestoreCache gauge high-water mark is the
+    // witness.
+    let config = AaDedupeConfig { container_size: 16 * 1024, ..AaDedupeConfig::default() };
+    let mut engine = AaDedupe::with_config(CloudSim::with_paper_defaults(), config);
+    let files = [
+        MemoryFile::new("user/doc/big.doc", b"cache bound drill words ".repeat(20_000)),
+        MemoryFile::new("user/pdf/big.pdf", (0..400_000u32).map(|i| (i % 251) as u8).collect()),
+    ];
+    let sources: Vec<&dyn SourceFile> = files.iter().map(|f| f as &dyn SourceFile).collect();
+    engine.backup_session(&sources).expect("backup");
+    let cloud = engine.cloud().clone();
+
+    let containers = cloud.store().list("aa-dedupe/containers/").len();
+    let capacity = 4usize;
+    assert!(
+        containers > 2 * capacity,
+        "drill needs >2x capacity containers, got {containers}"
+    );
+
+    let serial = restore_session(&cloud, SCHEME, 0).expect("serial oracle");
+    for workers in worker_matrix() {
+        let rec = Recorder::new();
+        let restored = restore_session_pipelined(
+            &cloud,
+            SCHEME,
+            0,
+            &RestoreOptions { workers, cache_capacity: capacity },
+            &RetryPolicy::default(),
+            &rec,
+        )
+        .expect("bounded restore");
+        assert_eq!(restored, serial, "workers={workers}");
+        let hwm = rec.snapshot().queue(Queue::RestoreCache).hwm;
+        assert!(hwm > 0, "workers={workers}: the gauge must have moved");
+        assert!(
+            hwm <= capacity as u64,
+            "workers={workers}: {hwm} resident containers exceeds the bound {capacity}"
+        );
+    }
+}
+
+#[test]
+fn single_slot_cache_still_restores_bit_exact() {
+    // The degenerate bound: capacity 1 forces evict-and-refetch whenever
+    // container references interleave; bytes must not change.
+    let mut generator = Generator::new(DatasetSpec::tiny_test(), SEEDS[2]);
+    let snap = generator.snapshot(0);
+    let sessions = vec![snap.as_sources()];
+    let cloud = backed_up(&sessions);
+    let serial = restore_session(&cloud, SCHEME, 0).expect("serial oracle");
+    for workers in [1usize, 4] {
+        assert_eq!(pipelined(&cloud, 0, workers, 1), serial, "workers={workers}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// list_sessions ordering regression.
+// ---------------------------------------------------------------------------
+
+/// A backend whose `list` returns keys in *reverse* lexicographic order —
+/// the adversarial listing the `list_sessions` contract must survive.
+struct ReverseListing(Arc<dyn ObjectBackend>);
+
+impl ObjectBackend for ReverseListing {
+    fn put(&self, key: &str, bytes: Vec<u8>) -> Result<(), BackendError> {
+        self.0.put(key, bytes)
+    }
+    fn get(&self, key: &str) -> Result<Option<Vec<u8>>, BackendError> {
+        self.0.get(key)
+    }
+    fn delete(&self, key: &str) -> Result<bool, BackendError> {
+        self.0.delete(key)
+    }
+    fn contains(&self, key: &str) -> bool {
+        self.0.contains(key)
+    }
+    fn list(&self, prefix: &str) -> Vec<String> {
+        let mut keys = self.0.list(prefix);
+        keys.reverse();
+        keys
+    }
+    fn object_count(&self) -> usize {
+        self.0.object_count()
+    }
+    fn stored_bytes(&self) -> u64 {
+        self.0.stored_bytes()
+    }
+    fn stats(&self) -> ObjectStoreStats {
+        self.0.stats()
+    }
+    fn corrupt(&self, key: &str, byte_index: usize) -> bool {
+        self.0.corrupt(key, byte_index)
+    }
+}
+
+#[test]
+fn list_sessions_is_numerically_ascending_regardless_of_backend_order() {
+    let scrambled: Arc<dyn ObjectBackend> =
+        Arc::new(ReverseListing(Arc::new(ObjectStore::new())));
+    let cloud = CloudSim::with_backend(
+        scrambled,
+        WanModel::paper_defaults(),
+        PriceModel::s3_april_2011(),
+    );
+    let mut engine = AaDedupe::new(cloud);
+    let f = MemoryFile::new("user/txt/x.txt", b"session zero ".repeat(2000));
+    engine.backup_session(&[&f as &dyn SourceFile]).expect("session 0");
+    // Past ten sessions so a lexicographic (or reversed) ordering of the
+    // manifest keys can no longer masquerade as numeric.
+    for s in 1..=11 {
+        engine.backup_session(&[]).unwrap_or_else(|e| panic!("session {s}: {e}"));
+    }
+    let sessions = engine.list_sessions();
+    assert_eq!(sessions, (0..=11).collect::<Vec<usize>>(), "ascending by session number");
+}
