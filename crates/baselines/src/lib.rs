@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Baseline cloud backup schemes (paper §IV.A, §V).
 //!
 //! Clean-room reimplementations of the *strategies* the paper compares

@@ -34,7 +34,7 @@ fn bench_chunkers(c: &mut Criterion) {
 
     let cdc = CdcChunker::default();
     group.bench_function("cdc_8k_avg", |b| {
-        b.iter(|| black_box(cdc.chunk(black_box(&input))))
+        b.iter(|| black_box(cdc.chunk(black_box(&input))));
     });
     group.finish();
 }
@@ -52,7 +52,7 @@ fn bench_cdc_params(c: &mut Criterion) {
         };
         let cdc = CdcChunker::new(params);
         group.bench_with_input(BenchmarkId::from_parameter(avg), &input, |b, d| {
-            b.iter(|| black_box(cdc.chunk(black_box(d))))
+            b.iter(|| black_box(cdc.chunk(black_box(d))));
         });
     }
     group.finish();

@@ -20,20 +20,20 @@ fn bench_digests(c: &mut Criterion) {
         let input = data(size);
         group.throughput(Throughput::Bytes(size as u64));
         group.bench_with_input(BenchmarkId::new("rabin96", size), &input, |b, d| {
-            b.iter(|| black_box(rabin96(black_box(d))))
+            b.iter(|| black_box(rabin96(black_box(d))));
         });
         group.bench_with_input(BenchmarkId::new("md5", size), &input, |b, d| {
-            b.iter(|| black_box(md5(black_box(d))))
+            b.iter(|| black_box(md5(black_box(d))));
         });
         group.bench_with_input(BenchmarkId::new("sha1", size), &input, |b, d| {
-            b.iter(|| black_box(sha1(black_box(d))))
+            b.iter(|| black_box(sha1(black_box(d))));
         });
         group.bench_with_input(BenchmarkId::new("rabin53_stream", size), &input, |b, d| {
             b.iter(|| {
                 let mut f = RabinFingerprinter::new();
                 f.update(black_box(d));
                 black_box(f.finish())
-            })
+            });
         });
     }
     group.finish();
@@ -55,7 +55,7 @@ fn bench_rolling(c: &mut Criterion) {
                 acc ^= rh.value();
             }
             black_box(acc)
-        })
+        });
     });
     group.finish();
 }

@@ -36,17 +36,17 @@ fn bench_lookup(c: &mut Criterion) {
             for (_, fp) in &entries {
                 black_box(ChunkIndex::lookup(&mono, fp));
             }
-        })
+        });
     });
     group.bench_function("app_aware_serial", |b| {
         b.iter(|| {
             for (app, fp) in &entries {
                 black_box(aware.lookup(*app, fp));
             }
-        })
+        });
     });
     group.bench_function("app_aware_parallel_batch", |b| {
-        b.iter(|| black_box(aware.lookup_batch_parallel(black_box(&entries))))
+        b.iter(|| black_box(aware.lookup_batch_parallel(black_box(&entries))));
     });
     group.finish();
 }
@@ -61,7 +61,7 @@ fn bench_insert(c: &mut Criterion) {
                 mono.insert(*fp, ChunkEntry::new(8192, 0, 0));
             }
             black_box(ChunkIndex::len(&mono))
-        })
+        });
     });
     group.bench_function("app_aware", |b| {
         b.iter(|| {
@@ -70,7 +70,7 @@ fn bench_insert(c: &mut Criterion) {
                 aware.insert(*app, *fp, ChunkEntry::new(8192, 0, 0));
             }
             black_box(aware.len())
-        })
+        });
     });
     group.finish();
 }

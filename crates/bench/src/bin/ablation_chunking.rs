@@ -14,6 +14,7 @@ use aadedupe_cloud::CloudSim;
 use aadedupe_core::{AaDedupe, AaDedupeConfig, BackupScheme};
 use aadedupe_filetype::DedupPolicy;
 use aadedupe_hashing::HashAlgorithm;
+use aadedupe_metrics::SessionReport;
 
 fn scheme(cloud: &CloudSim, policy: DedupPolicy, key: &str) -> Box<dyn BackupScheme> {
     let config = AaDedupeConfig { policy, scheme_key: key.into(), ..AaDedupeConfig::default() };
@@ -56,7 +57,7 @@ fn main() {
         let stored: u64 = run.reports.iter().map(|r| r.stored_bytes).sum();
         let chunks: u64 = run.reports.iter().map(|r| r.chunks_total).sum();
         let de: f64 =
-            run.reports.iter().skip(1).map(|r| r.de()).sum::<f64>() / (cfg.sessions - 1).max(1) as f64;
+            run.reports.iter().skip(1).map(SessionReport::de).sum::<f64>() / (cfg.sessions - 1).max(1) as f64;
         rows.push(vec![
             label.to_string(),
             chunks.to_string(),

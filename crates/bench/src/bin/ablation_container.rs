@@ -35,7 +35,7 @@ fn main() {
     let runs = run_evaluation_with(cfg, |cloud| {
         sizes
             .iter()
-            .map(|&s| scheme(cloud, s, 10 * 1024, format!("aa-c{}", s)))
+            .map(|&s| scheme(cloud, s, 10 * 1024, format!("aa-c{s}")))
             .collect()
     });
     let mut rows = Vec::new();
@@ -64,7 +64,7 @@ fn main() {
     let runs = run_evaluation_with(cfg, |cloud| {
         thresholds
             .iter()
-            .map(|&t| scheme(cloud, 1 << 20, t, format!("aa-t{}", t)))
+            .map(|&t| scheme(cloud, 1 << 20, t, format!("aa-t{t}")))
             .collect()
     });
     let mut rows = Vec::new();

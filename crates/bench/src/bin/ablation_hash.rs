@@ -12,6 +12,7 @@ use aadedupe_bench::{fmt_bytes, fmt_rate, print_table, run_evaluation_with, Eval
 use aadedupe_cloud::CloudSim;
 use aadedupe_core::{AaDedupe, AaDedupeConfig, BackupScheme};
 use aadedupe_filetype::DedupPolicy;
+use aadedupe_metrics::SessionReport;
 
 fn scheme_with_policy(cloud: &CloudSim, policy: DedupPolicy, key: &str) -> Box<dyn BackupScheme> {
     let config = AaDedupeConfig { policy, scheme_key: key.into(), ..AaDedupeConfig::default() };
@@ -38,7 +39,7 @@ fn main() {
         let logical: u64 = run.reports.iter().map(|r| r.logical_bytes).sum();
         let stored: u64 = run.reports.iter().map(|r| r.stored_bytes).sum();
         let de: f64 =
-            run.reports.iter().map(|r| r.de()).sum::<f64>() / run.reports.len() as f64;
+            run.reports.iter().map(SessionReport::de).sum::<f64>() / run.reports.len() as f64;
         rows.push(vec![
             label.to_string(),
             format!("{:.3} s", cpu),

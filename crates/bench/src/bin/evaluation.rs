@@ -13,7 +13,7 @@
 //! (`AA_EVAL_MB=256 AA_SESSIONS=10` for a bigger run; `AA_CSV=1` for raw rows.)
 
 use aadedupe_bench::{fmt_bytes, maybe_csv, print_table, run_evaluation, EvalConfig, SchemeRun};
-use aadedupe_metrics::{report::cumulative_transferred, EnergyModel};
+use aadedupe_metrics::{report::cumulative_transferred, EnergyModel, SessionReport};
 
 /// The paper's upload bandwidth (NT), bytes/second.
 const NT: f64 = 500.0 * 1024.0;
@@ -66,7 +66,7 @@ fn main() {
     let avg_de: Vec<f64> = runs
         .iter()
         .map(|r| {
-            let des: Vec<f64> = r.reports.iter().skip(1).map(|x| x.de()).collect();
+            let des: Vec<f64> = r.reports.iter().skip(1).map(SessionReport::de).collect();
             des.iter().sum::<f64>() / des.len().max(1) as f64
         })
         .collect();

@@ -49,7 +49,7 @@ fn run(files: &[Vec<u8>], chunker: &dyn Chunker, algo: HashAlgorithm) -> (f64, u
 
 fn main() {
     let files = corpus();
-    let total: usize = files.iter().map(|f| f.len()).sum();
+    let total: usize = files.iter().map(Vec::len).sum();
     println!(
         "Figure 3 — hash computation overhead over a {} MiB dataset",
         total >> 20

@@ -50,7 +50,7 @@ fn dedup_pass(files: &[Vec<u8>], chunker: &dyn Chunker, algo: HashAlgorithm) -> 
 
 fn main() {
     let files = corpus();
-    let total: usize = files.iter().map(|f| f.len()).sum();
+    let total: usize = files.iter().map(Vec::len).sum();
     println!(
         "Figure 4 — dedup throughput (chunk + fingerprint + index) over {} MiB",
         total >> 20

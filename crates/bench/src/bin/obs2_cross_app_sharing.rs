@@ -63,7 +63,7 @@ fn main() {
         &rows,
     );
 
-    let total_chunks: usize = sets.values().map(|s| s.len()).sum();
+    let total_chunks: usize = sets.values().map(std::collections::HashSet::len).sum();
     println!(
         "\ntotal unique chunks: {total_chunks}; shared across applications: {total_shared} \
          ({:.4}%)   (paper: one 16 KB chunk in ~41 GB)",

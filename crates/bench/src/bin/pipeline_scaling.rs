@@ -108,8 +108,10 @@ fn main() {
     let mb: usize = env_or("AA_SCALE_MB", 64);
     let reps: usize = env_or("AA_SCALE_REPS", 3);
     let workers: Vec<usize> = std::env::var("AA_SCALE_WORKERS")
-        .map(|s| s.split(',').map(|w| w.trim().parse().expect("worker count")).collect())
-        .unwrap_or_else(|_| vec![1, 2, 4, 8]);
+        .map_or_else(
+            |_| vec![1, 2, 4, 8],
+            |s| s.split(',').map(|w| w.trim().parse().expect("worker count")).collect(),
+        );
 
     let files = corpus(mb);
     let logical: usize = files.iter().map(|f| f.data.len()).sum();
@@ -138,8 +140,7 @@ fn main() {
     let baseline = results
         .iter()
         .find(|(w, _, _)| *w == 1)
-        .map(|(_, t, _)| *t)
-        .unwrap_or(results[0].1);
+        .map_or(results[0].1, |(_, t, _)| *t);
     println!("{{");
     println!("  \"workload_mib\": {},", logical >> 20);
     println!("  \"files\": {},", files.len());

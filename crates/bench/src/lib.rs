@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Benchmark harness for the AA-Dedupe reproduction.
 //!
 //! One runnable binary per table/figure of the paper (see DESIGN.md §3 for
@@ -59,7 +60,7 @@ impl EvalConfig {
             .ok()
             .and_then(|v| v.parse::<u64>().ok())
             .unwrap_or(2011);
-        let csv = std::env::var("AA_CSV").map(|v| v == "1").unwrap_or(false);
+        let csv = std::env::var("AA_CSV").is_ok_and(|v| v == "1");
         EvalConfig { dataset_bytes: mb << 20, sessions, seed, csv }
     }
 }
@@ -101,6 +102,7 @@ pub fn run_evaluation_with(
             let snapshot = generator.snapshot(week);
             let report = scheme
                 .backup_session(&snapshot.as_sources())
+                // aalint: allow(unwrap-in-lib) -- evaluation harness: a failed session invalidates the whole run, aborting with the error is the intended behavior
                 .expect("backup session failed");
             reports.push(report);
         }
@@ -165,7 +167,7 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
         }
         s
     };
-    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    let header_cells: Vec<String> = headers.iter().map(ToString::to_string).collect();
     println!("{}", line(&header_cells));
     println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
     for row in rows {

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Chunking substrate for AA-Dedupe.
 //!
 //! AA-Dedupe's "intelligent chunker" dispatches each file to one of three

@@ -105,7 +105,7 @@ impl<R: Read> StreamChunker<R> {
             match self.reader.read(&mut scratch) {
                 Ok(0) => self.eof = true,
                 Ok(n) => self.buf.extend_from_slice(&scratch[..n]),
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
                 Err(e) => {
                     self.err = Some(e);
                     self.eof = true;

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `aabackup` — a usable AA-Dedupe backup client.
 //!
 //! Backs up a directory tree into a filesystem-backed repository using

@@ -27,8 +27,7 @@ impl DiskSourceFile {
             .modified()
             .ok()
             .and_then(|t| t.duration_since(UNIX_EPOCH).ok())
-            .map(|d| d.as_nanos() as u64)
-            .unwrap_or(0);
+            .map_or(0, |d| d.as_nanos() as u64);
         let app = classify(Path::new(&rel));
         let size = meta.len();
         // stat-derived token: changes whenever mtime or size change.
@@ -80,7 +79,13 @@ pub fn walk_directory(root: &Path) -> std::io::Result<Vec<DiskSourceFile>> {
             } else if file_type.is_file() {
                 let rel = path
                     .strip_prefix(root)
-                    .expect("under root")
+                    .map_err(|_| {
+                        std::io::Error::other(format!(
+                            "walked path {} escapes scan root {}",
+                            path.display(),
+                            root.display()
+                        ))
+                    })?
                     .to_string_lossy()
                     .replace(std::path::MAIN_SEPARATOR, "/");
                 out.push(DiskSourceFile::new(path, rel)?);
@@ -115,7 +120,7 @@ mod tests {
     fn walks_recursively_sorted() {
         let dir = temp_tree();
         let files = walk_directory(&dir).unwrap();
-        let rels: Vec<&str> = files.iter().map(|f| f.path()).collect();
+        let rels: Vec<&str> = files.iter().map(SourceFile::path).collect();
         assert_eq!(rels, vec!["a.txt", "sub/b.pdf"]);
         assert_eq!(files[0].app_type(), aadedupe_filetype::AppType::Txt);
         assert_eq!(files[1].app_type(), aadedupe_filetype::AppType::Pdf);

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Simulated cloud backend for AA-Dedupe.
 //!
 //! The paper evaluates against Amazon S3 over a home 802.11g uplink. This

@@ -22,6 +22,11 @@ pub struct ObjectStoreStats {
     pub bytes_in: u64,
     /// Bytes returned by GETs.
     pub bytes_out: u64,
+    /// Stale temp files removed by crash-recovery sweeps (durable stores).
+    pub tmp_swept: u64,
+    /// Best-effort cleanup deletions that themselves failed. Never silent:
+    /// every swallowed `remove_file` error lands here for audit.
+    pub cleanup_failures: u64,
 }
 
 /// A flat in-memory object namespace with accounting.

@@ -88,7 +88,7 @@ pub fn encode_container(
     data: &[u8],
     pad_to: Option<usize>,
 ) -> Vec<u8> {
-    let desc_len: usize = descriptors.iter().map(|d| d.encoded_len()).sum();
+    let desc_len: usize = descriptors.iter().map(ChunkDescriptor::encoded_len).sum();
     let body_len = HEADER_LEN + desc_len + data.len();
     let total = pad_to.map_or(body_len, |p| p.max(body_len));
     let mut out = Vec::with_capacity(total);
@@ -130,9 +130,9 @@ impl ParsedContainer {
         if &buf[..6] != CONTAINER_MAGIC {
             return Err(ContainerError::BadMagic);
         }
-        let container_id = u64::from_le_bytes(buf[6..14].try_into().unwrap());
-        let chunk_count = u32::from_le_bytes(buf[14..18].try_into().unwrap()) as usize;
-        let data_len = u64::from_le_bytes(buf[18..26].try_into().unwrap()) as usize;
+        let container_id = u64::from_le_bytes(buf[6..14].try_into().map_err(|_| ContainerError::Truncated)?);
+        let chunk_count = u32::from_le_bytes(buf[14..18].try_into().map_err(|_| ContainerError::Truncated)?) as usize;
+        let data_len = u64::from_le_bytes(buf[18..26].try_into().map_err(|_| ContainerError::Truncated)?) as usize;
         // Each descriptor is at least 13+8 bytes.
         if chunk_count.saturating_mul(13) > buf.len() {
             return Err(ContainerError::Truncated);
@@ -146,8 +146,8 @@ impl ParsedContainer {
             if buf.len() < pos + 8 {
                 return Err(ContainerError::Truncated);
             }
-            let offset = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap());
-            let len = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().unwrap());
+            let offset = u32::from_le_bytes(buf[pos..pos + 4].try_into().map_err(|_| ContainerError::Truncated)?);
+            let len = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().map_err(|_| ContainerError::Truncated)?);
             pos += 8;
             if (offset as usize).saturating_add(len as usize) > data_len {
                 return Err(ContainerError::DescriptorOutOfRange);

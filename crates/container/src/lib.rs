@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Self-describing chunk containers (paper §III.F).
 //!
 //! Deduplication turns large sequential writes into many small random ones,

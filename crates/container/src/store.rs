@@ -23,7 +23,7 @@ use crate::builder::ContainerBuilder;
 use crate::format::{ChunkDescriptor, ContainerError, ParsedContainer};
 use aadedupe_hashing::Fingerprint;
 use aadedupe_obs::{Counter, Recorder, Stage};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Bit position splitting a container id into (stream, sequence): the low
@@ -87,11 +87,11 @@ pub struct ContainerStore {
     container_size: usize,
     /// Next sequence number per stream (ids are per-stream, see
     /// [`compose_id`]).
-    next_seq: HashMap<u32, u64>,
+    next_seq: BTreeMap<u32, u64>,
     /// Floor applied to every stream's sequence, covering namespaces whose
     /// existing ids predate the per-stream scheme.
     seq_floor: u64,
-    open: HashMap<u32, ContainerBuilder>,
+    open: BTreeMap<u32, ContainerBuilder>,
     sealed: Vec<SealedContainer>,
     stats: StoreStats,
     recorder: Arc<Recorder>,
@@ -102,9 +102,9 @@ impl ContainerStore {
     pub fn new(container_size: usize) -> Self {
         ContainerStore {
             container_size,
-            next_seq: HashMap::new(),
+            next_seq: BTreeMap::new(),
             seq_floor: 0,
-            open: HashMap::new(),
+            open: BTreeMap::new(),
             sealed: Vec::new(),
             stats: StoreStats::default(),
             recorder: Recorder::shared_disabled(),
@@ -138,8 +138,14 @@ impl ContainerStore {
     }
 
     fn fresh_id(&mut self, stream: u32) -> u64 {
-        let seq = self.next_seq.entry(stream).or_insert(0);
-        let current = (*seq).max(self.seq_floor);
+        Self::mint_id(&mut self.next_seq, self.seq_floor, stream)
+    }
+
+    /// Field-level id minting so [`add_chunk`](Self::add_chunk) can mint
+    /// inside an `open.entry()` closure (disjoint field borrows).
+    fn mint_id(next_seq: &mut BTreeMap<u32, u64>, seq_floor: u64, stream: u32) -> u64 {
+        let seq = next_seq.entry(stream).or_insert(0);
+        let current = (*seq).max(seq_floor);
         *seq = current + 1;
         compose_id(stream, current)
     }
@@ -173,24 +179,18 @@ impl ContainerStore {
         }
 
         // Roll the stream's open container if the chunk doesn't fit.
-        let needs_roll = self
-            .open
-            .get(&stream)
-            .map(|b| !b.fits(chunk.len(), digest_len))
-            .unwrap_or(false);
+        let needs_roll =
+            self.open.get(&stream).is_some_and(|b| !b.fits(chunk.len(), digest_len));
         if needs_roll {
             self.seal_stream(stream);
         }
         let size = self.container_size;
-        let id = match self.open.get(&stream) {
-            Some(b) => b.container_id(),
-            None => {
-                let id = self.fresh_id(stream);
-                self.open.insert(stream, ContainerBuilder::new(id, size));
-                id
-            }
-        };
-        let builder = self.open.get_mut(&stream).expect("just ensured");
+        let (next_seq, seq_floor) = (&mut self.next_seq, self.seq_floor);
+        let builder = self
+            .open
+            .entry(stream)
+            .or_insert_with(|| ContainerBuilder::new(Self::mint_id(next_seq, seq_floor, stream), size));
+        let id = builder.container_id();
         let offset = builder.append(fp, chunk);
         self.recorder.record(Stage::ContainerAppend, started);
         Placement { container: id, offset }

@@ -35,9 +35,9 @@ proptest! {
         let mut sealed = seal_all(&mut store);
         sealed.sort_by_key(|s| s.id);
         for (p, fp, bytes) in placements {
-            let sc = sealed.binary_search_by_key(&p.container, |s| s.id)
-                .map(|i| &sealed[i])
-                .unwrap_or_else(|_| panic!("container {} not sealed", p.container));
+            let sc = sealed
+                .binary_search_by_key(&p.container, |s| s.id)
+                .map_or_else(|_| panic!("container {} not sealed", p.container), |i| &sealed[i]);
             let parsed = ParsedContainer::parse(&sc.bytes).expect("parses");
             let d = parsed.descriptors.iter()
                 .find(|d| d.offset == p.offset && d.fingerprint == fp)
@@ -101,7 +101,7 @@ proptest! {
         for sc in sealed {
             let parsed = ParsedContainer::parse(&sc.bytes).unwrap();
             let live = |fp: &Fingerprint| {
-                fps.iter().position(|f| f == fp).map(|i| keep_mask >> (i % 64) & 1 == 1).unwrap_or(false)
+                fps.iter().position(|f| f == fp).is_some_and(|i| keep_mask >> (i % 64) & 1 == 1)
             };
             let survivors: Vec<_> = parsed.descriptors.iter()
                 .filter(|d| live(&d.fingerprint)).collect();

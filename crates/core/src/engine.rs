@@ -43,7 +43,7 @@
 use std::collections::{BTreeMap, HashMap};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use aadedupe_chunking::{CdcParams, StreamChunker, DEFAULT_CDC};
 use aadedupe_cloud::CloudSim;
@@ -238,18 +238,19 @@ fn chunk_and_hash(
     data: &[u8],
     rec: &Arc<Recorder>,
 ) -> ChunkedFile {
-    let start = Instant::now();
-    let (method, hash) = policy.for_app(app);
-    let chunks = StreamChunker::for_method(data, method, sc_chunk_size, cdc)
-        .instrumented(Arc::clone(rec))
-        .map(|c| {
-            let hashing = rec.start();
-            let fp = Fingerprint::compute(hash, &c.data);
-            rec.record(Stage::Hash, hashing);
-            (fp, c.data)
-        })
-        .collect();
-    ChunkedFile { chunks, cpu: start.elapsed() }
+    let (chunks, cpu) = crate::timing::measure_cpu(|| {
+        let (method, hash) = policy.for_app(app);
+        StreamChunker::for_method(data, method, sc_chunk_size, cdc)
+            .instrumented(Arc::clone(rec))
+            .map(|c| {
+                let hashing = rec.start();
+                let fp = Fingerprint::compute(hash, &c.data);
+                rec.record(Stage::Hash, hashing);
+                (fp, c.data)
+            })
+            .collect()
+    });
+    ChunkedFile { chunks, cpu }
 }
 
 /// Deduplicate one chunked file against its application's partition.
@@ -264,55 +265,53 @@ fn dedupe_chunks(
     chunked: ChunkedFile,
     append: &mut dyn FnMut(Fingerprint, Vec<u8>) -> Placement,
 ) -> DedupedFile {
-    let start = Instant::now();
-    let mut recipe = FileRecipe {
-        path: path.to_string(),
-        app,
-        tiny: false,
-        chunks: Vec::with_capacity(chunked.chunks.len()),
-    };
-    let (mut stored_bytes, mut chunks_duplicate, mut disk_reads) = (0u64, 0u64, 0u64);
-    for (fp, bytes) in chunked.chunks {
-        let outcome = index.lookup_classified(app, &fp);
-        if outcome.touched_disk() {
-            disk_reads += 1;
-        }
-        let reference = match outcome.entry() {
-            Some(entry) => {
-                chunks_duplicate += 1;
-                ChunkRef {
-                    fingerprint: fp,
-                    len: bytes.len() as u32,
-                    container: entry.container,
-                    offset: entry.offset,
-                }
-            }
-            None => {
-                let len = bytes.len();
-                let placement = append(fp, bytes);
-                index.insert(
-                    app,
-                    fp,
-                    ChunkEntry::new(len as u64, placement.container, placement.offset),
-                );
-                stored_bytes += len as u64;
-                ChunkRef {
-                    fingerprint: fp,
-                    len: len as u32,
-                    container: placement.container,
-                    offset: placement.offset,
-                }
-            }
+    let chunk_cpu = chunked.cpu;
+    let (mut deduped, elapsed) = crate::timing::measure_cpu(|| {
+        let mut recipe = FileRecipe {
+            path: path.to_string(),
+            app,
+            tiny: false,
+            chunks: Vec::with_capacity(chunked.chunks.len()),
         };
-        recipe.chunks.push(reference);
-    }
-    DedupedFile {
-        recipe,
-        stored_bytes,
-        chunks_duplicate,
-        disk_reads,
-        cpu: chunked.cpu + start.elapsed(),
-    }
+        let (mut stored_bytes, mut chunks_duplicate, mut disk_reads) = (0u64, 0u64, 0u64);
+        for (fp, bytes) in chunked.chunks {
+            let outcome = index.lookup_classified(app, &fp);
+            if outcome.touched_disk() {
+                disk_reads += 1;
+            }
+            let reference = match outcome.entry() {
+                Some(entry) => {
+                    chunks_duplicate += 1;
+                    ChunkRef {
+                        fingerprint: fp,
+                        len: bytes.len() as u32,
+                        container: entry.container,
+                        offset: entry.offset,
+                    }
+                }
+                None => {
+                    let len = bytes.len();
+                    let placement = append(fp, bytes);
+                    index.insert(
+                        app,
+                        fp,
+                        ChunkEntry::new(len as u64, placement.container, placement.offset),
+                    );
+                    stored_bytes += len as u64;
+                    ChunkRef {
+                        fingerprint: fp,
+                        len: len as u32,
+                        container: placement.container,
+                        offset: placement.offset,
+                    }
+                }
+            };
+            recipe.chunks.push(reference);
+        }
+        DedupedFile { recipe, stored_bytes, chunks_duplicate, disk_reads, cpu: Duration::ZERO }
+    });
+    deduped.cpu = chunk_cpu + elapsed;
+    deduped
 }
 
 /// The tiny-file path: no chunk-level dedup (the size filter), but
@@ -348,13 +347,14 @@ fn pack_tiny(
     let packing = rec.start();
     rec.count(Counter::TinyPacked, 1);
     let data = file.read();
-    let start = Instant::now();
     // Tiny files are fingerprinted only for restore-time integrity
     // (container descriptors need a key); they are not indexed.
-    let fp = Fingerprint::compute(aadedupe_hashing::HashAlgorithm::Sha1, &data);
-    let len = data.len();
-    let placement = append(fp, data);
-    let cpu = start.elapsed();
+    let ((fp, len, placement), cpu) = crate::timing::measure_cpu(|| {
+        let fp = Fingerprint::compute(aadedupe_hashing::HashAlgorithm::Sha1, &data);
+        let len = data.len();
+        let placement = append(fp, data);
+        (fp, len, placement)
+    });
     let reference = ChunkRef {
         fingerprint: fp,
         len: len as u32,
@@ -685,6 +685,7 @@ impl AaDedupe {
                     }
                     let working = rec.start();
                     let placement = store.add_chunk(req.stream, req.fp, &req.bytes);
+                    // aalint: allow(swallowed-result) -- a shard that already panicked dropped its reply receiver; the appender must keep serving the other shards
                     let _ = req.reply.send(placement);
                     if let Some(w) = working {
                         busy += w.elapsed();
@@ -709,6 +710,7 @@ impl AaDedupe {
                     let (mut busy, mut idle) = (Duration::ZERO, Duration::ZERO);
                     while next < my_files.len() {
                         let waiting = rec.start();
+                        // aalint: allow(unwrap-in-lib) -- scoped-thread topology: chunk workers hold the senders until every shard drains; closure here is a harness bug worth a loud panic
                         let (i, cf) = rx.recv().expect("workers outlive shard backlog");
                         rec.queue_pop(Queue::Shards);
                         if let Some(w) = waiting {
@@ -734,11 +736,12 @@ impl AaDedupe {
                                             bytes,
                                             reply: reply_tx.clone(),
                                         })
-                                        .expect("appender outlives shards");
-                                    reply_rx.recv().expect("appender replies")
+                                        .expect("appender outlives shards"); // aalint: allow(unwrap-in-lib) -- appender joins only after every shard sender drops
+                                    reply_rx.recv().expect("appender replies") // aalint: allow(unwrap-in-lib) -- appender replies to every request before servicing the next
                                 },
                             );
                             rec.trace_complete("dedupe", span);
+                            // aalint: allow(unwrap-in-lib) -- main thread holds out_rx open for the whole scope
                             out_tx.send((want, out)).expect("main collects outcomes");
                             next += 1;
                         }
@@ -761,7 +764,8 @@ impl AaDedupe {
                     let (mut busy, mut idle) = (Duration::ZERO, Duration::ZERO);
                     loop {
                         let waiting = rec.start();
-                        let i = match job_rx.lock().expect("job queue lock").recv() {
+                        // aalint: allow(blocking-under-lock) -- spmc handoff: the mutex exists only to share the receiver; holding it across recv() is the protocol
+                        let i = match job_rx.lock().unwrap_or_else(std::sync::PoisonError::into_inner).recv() {
                             Ok(i) => i,
                             Err(_) => break,
                         };
@@ -785,9 +789,9 @@ impl AaDedupe {
                         rec.queue_push(Queue::Shards);
                         shard_txs[(app.tag() - 1) as usize]
                             .as_ref()
-                            .expect("shard exists for routed app")
+                            .expect("shard exists for routed app") // aalint: allow(unwrap-in-lib) -- a shard thread was spawned for every app with routed work
                             .send((i, cf))
-                            .expect("shard outlives its backlog");
+                            .expect("shard outlives its backlog"); // aalint: allow(unwrap-in-lib) -- shard loops until its full backlog arrives, so the receiver cannot close first
                     }
                     rec.worker_report(WorkerRole::Chunker, w, busy, idle);
                 });
@@ -822,8 +826,8 @@ impl AaDedupe {
                                         bytes,
                                         reply: reply_tx.clone(),
                                     })
-                                    .expect("appender outlives tiny packing");
-                                reply_rx.recv().expect("appender replies")
+                                    .expect("appender outlives tiny packing"); // aalint: allow(unwrap-in-lib) -- append_tx drops only after this loop
+                                reply_rx.recv().expect("appender replies") // aalint: allow(unwrap-in-lib) -- appender replies to every request before servicing the next
                             },
                             rec,
                         );
@@ -841,6 +845,7 @@ impl AaDedupe {
             }
             debug_assert_eq!(big_out.len(), n_big);
 
+            // aalint: allow(unwrap-in-lib) -- re-raising an appender panic at scope exit is the intended failure mode
             let store = appender.join().expect("appender thread panicked");
             (tiny_out, big_out, store)
         });
@@ -854,7 +859,7 @@ impl AaDedupe {
             } else {
                 big_out.remove(&i)
             }
-            .expect("every file produced an outcome");
+            .expect("every file produced an outcome"); // aalint: allow(unwrap-in-lib) -- each file was routed to exactly one of the two outcome maps above
             manifest.files.push(absorb(out, report, clock, container_live));
         }
         manifest
@@ -878,7 +883,7 @@ impl AaDedupe {
                 let live = self
                     .container_live
                     .get_mut(&c.container)
-                    .expect("container of a live manifest");
+                    .expect("container of a live manifest"); // aalint: allow(unwrap-in-lib) -- commit maintains a refcount for every container a live manifest references
                 *live = live.saturating_sub(1);
                 if *live == 0 {
                     self.container_live.remove(&c.container);

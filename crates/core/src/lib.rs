@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! The AA-Dedupe engine (paper §III, Fig. 5).
 //!
 //! The backup path implements the architecture of the paper's Fig. 5:

@@ -78,7 +78,7 @@ impl Manifest {
 
     /// Total logical bytes described.
     pub fn logical_bytes(&self) -> u64 {
-        self.files.iter().map(|f| f.file_len()).sum()
+        self.files.iter().map(FileRecipe::file_len).sum()
     }
 
     /// Serialises the manifest.
@@ -120,20 +120,20 @@ impl Manifest {
         if take(&mut pos, 6)? != MAGIC {
             return Err(corrupt("bad magic"));
         }
-        let session = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
-        let nfiles = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap()) as usize;
+        let session = u64::from_le_bytes(take(&mut pos, 8)?.try_into().map_err(|_| corrupt("short field"))?);
+        let nfiles = u64::from_le_bytes(take(&mut pos, 8)?.try_into().map_err(|_| corrupt("short field"))?) as usize;
         if nfiles.saturating_mul(8) > buf.len() {
             return Err(corrupt("absurd file count"));
         }
         let mut files = Vec::with_capacity(nfiles);
         for _ in 0..nfiles {
-            let plen = u16::from_le_bytes(take(&mut pos, 2)?.try_into().unwrap()) as usize;
+            let plen = u16::from_le_bytes(take(&mut pos, 2)?.try_into().map_err(|_| corrupt("short field"))?) as usize;
             let path = String::from_utf8(take(&mut pos, plen)?.to_vec())
                 .map_err(|_| corrupt("non-UTF-8 path"))?;
             let tag = take(&mut pos, 1)?[0];
             let app = AppType::from_tag(tag).ok_or_else(|| corrupt("bad app tag"))?;
             let flags = take(&mut pos, 1)?[0];
-            let nchunks = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap()) as usize;
+            let nchunks = u32::from_le_bytes(take(&mut pos, 4)?.try_into().map_err(|_| corrupt("short field"))?) as usize;
             if nchunks.saturating_mul(13) > buf.len() {
                 return Err(corrupt("absurd chunk count"));
             }
@@ -142,9 +142,9 @@ impl Manifest {
                 let (fingerprint, used) = Fingerprint::decode(&buf[pos..])
                     .ok_or_else(|| corrupt("bad fingerprint"))?;
                 pos += used;
-                let len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
-                let container = u64::from_le_bytes(take(&mut pos, 8)?.try_into().unwrap());
-                let offset = u32::from_le_bytes(take(&mut pos, 4)?.try_into().unwrap());
+                let len = u32::from_le_bytes(take(&mut pos, 4)?.try_into().map_err(|_| corrupt("short field"))?);
+                let container = u64::from_le_bytes(take(&mut pos, 8)?.try_into().map_err(|_| corrupt("short field"))?);
+                let offset = u32::from_le_bytes(take(&mut pos, 4)?.try_into().map_err(|_| corrupt("short field"))?);
                 chunks.push(ChunkRef { fingerprint, len, container, offset });
             }
             files.push(FileRecipe { path, app, tiny: flags & 1 != 0, chunks });

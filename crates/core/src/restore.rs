@@ -115,6 +115,7 @@ pub fn restore_session(
     for f in &manifest.files {
         let mut data = Vec::with_capacity(f.file_len() as usize);
         for c in &f.chunks {
+            // aalint: allow(unwrap-in-lib) -- the prefetch loop above inserted every container this manifest references; absence is a logic bug, not an input error
             let container = containers.get(&c.container).expect("prefetched above");
             let descriptor = lookup_descriptor(container, c.container, c.offset, &c.fingerprint)?;
             let chunk = container.parsed.chunk_bytes(&descriptor);
@@ -162,6 +163,7 @@ pub fn restore_file_pipelined(
         .find(|f| f.path == path)
         .ok_or_else(|| BackupError::MissingObject(format!("session {session}: {path}")))?;
     let mut files = run_pipeline(cloud, scheme_key, &[recipe], opts, retry, &budget, rec)?;
+    // aalint: allow(unwrap-in-lib) -- run_pipeline returns exactly one RestoredFile per input recipe
     Ok(files.pop().expect("one recipe in, one file out"))
 }
 
@@ -368,7 +370,8 @@ fn run_pipeline(
                 let mut idle = Duration::ZERO;
                 loop {
                     let waiting = rec.start();
-                    let job = job_rx.lock().unwrap_or_else(|e| e.into_inner()).recv();
+                    // aalint: allow(blocking-under-lock) -- spmc handoff: the mutex exists only to share the receiver; holding it across recv() is the protocol
+                    let job = job_rx.lock().unwrap_or_else(std::sync::PoisonError::into_inner).recv();
                     let Ok(job) = job else { break };
                     if let Some(t) = waiting {
                         idle += t.elapsed();
@@ -452,16 +455,23 @@ fn assemble(
                     // Its turn in issue order came while the window was
                     // full, or it was force-evicted earlier: issue it now,
                     // ahead of the window accounting.
-                    let job = match pending.front() {
-                        Some(j) if j.container == c.container => {
-                            pending.pop_front().expect("front exists")
+                    let job = match pending.pop_front() {
+                        Some(j) if j.container == c.container => j,
+                        other => {
+                            // Not the head of issue order (or the queue is
+                            // drained): restore the head and synthesize the
+                            // job from the spare reference sets.
+                            if let Some(j) = other {
+                                pending.push_front(j);
+                            }
+                            ContainerJob {
+                                container: c.container,
+                                refs: spare_refs[&c.container].clone(),
+                            }
                         }
-                        _ => ContainerJob {
-                            container: c.container,
-                            refs: spare_refs[&c.container].clone(),
-                        },
                     };
                     in_flight.insert(c.container);
+                    // aalint: allow(swallowed-result) -- send fails only after a worker panic; the recv below surfaces it as a Cloud error
                     let _ = job_tx.send(job);
                 }
                 let (id, result) = done_rx
@@ -475,6 +485,7 @@ fn assemble(
                             // containers than cache slots): evict the
                             // least-recently-used resident container; it
                             // is refetched if referenced again.
+                            // aalint: allow(unwrap-in-lib) -- guarded by len == capacity with capacity clamped to >= 1, so the LRU set is non-empty
                             let victim = *resident.peek_lru().expect("cache is full");
                             resident.remove(&victim);
                             cache.remove(&victim);
@@ -648,7 +659,7 @@ mod tests {
         // container end can be harmless padding).
         let raw = cloud.store().get(&key).unwrap().unwrap();
         let parsed = ParsedContainer::parse(&raw).unwrap();
-        let desc_len: usize = parsed.descriptors.iter().map(|d| d.encoded_len()).sum();
+        let desc_len: usize = parsed.descriptors.iter().map(aadedupe_container::ChunkDescriptor::encoded_len).sum();
         let target = aadedupe_container::format::HEADER_LEN
             + desc_len
             + parsed.descriptors[0].offset as usize;

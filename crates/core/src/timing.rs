@@ -26,6 +26,18 @@ pub const DISK_SEEK: Duration = Duration::from_millis(1);
 /// charge it uniformly (80 MB/s: a 2.5" SATA disk of the era).
 pub const SOURCE_READ_BPS: f64 = 80.0 * 1024.0 * 1024.0;
 
+/// Runs `f` and returns its result together with its measured wall time.
+/// This is the one sanctioned wall-clock read on the dedup path: every
+/// CPU-time measurement in the engine routes through here, and the
+/// duration feeds throughput accounting (`DT`) only — it never influences
+/// chunk boundaries, fingerprints, index placement, or container layout.
+pub fn measure_cpu<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    // aalint: allow(nondeterministic-time) -- throughput accounting only; the duration is reported, never branched on by dedup decisions
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
 /// Accumulates the dedup stage's cost.
 #[derive(Debug, Clone, Default)]
 pub struct DedupClock {
@@ -42,9 +54,8 @@ impl DedupClock {
 
     /// Runs `f`, adding its wall time to the CPU account.
     pub fn measure<T>(&mut self, f: impl FnOnce() -> T) -> T {
-        let start = Instant::now();
-        let out = f();
-        self.cpu += start.elapsed();
+        let (out, elapsed) = measure_cpu(f);
+        self.cpu += elapsed;
         out
     }
 

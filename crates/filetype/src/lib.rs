@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Application/file-type classification for AA-Dedupe.
 //!
 //! The paper's central premise is that the dedup pipeline should be

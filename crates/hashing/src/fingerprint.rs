@@ -127,7 +127,9 @@ impl Fingerprint {
     /// First 8 digest bytes as a `u64` — a cheap bucket key for sharded
     /// index structures.
     pub fn prefix64(&self) -> u64 {
-        u64::from_le_bytes(self.bytes[..8].try_into().expect("20-byte buffer"))
+        let mut first = [0u8; 8];
+        first.copy_from_slice(&self.bytes[..8]);
+        u64::from_le_bytes(first)
     }
 
     /// Serialises to `1 + digest_len` bytes: algorithm tag then digest.

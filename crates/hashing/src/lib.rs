@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Hash substrate for AA-Dedupe.
 //!
 //! The AA-Dedupe paper (CLUSTER 2011) matches hash strength to chunk

@@ -319,7 +319,11 @@ pub fn extended_fingerprint(data: &[u8]) -> [u8; 12] {
     for w in &mut words {
         // Big-endian: earlier byte = higher-order polynomial coefficient,
         // matching byte-sequential pushes.
-        let x = u32::from_be_bytes(w.try_into().expect("4-byte chunk"));
+        let x = {
+            let mut word = [0u8; 4];
+            word.copy_from_slice(w);
+            u32::from_be_bytes(word)
+        };
         fa = ta.push_word(fa, x);
         fb = tb.push_word(fb, x);
         aux = (aux ^ x as u64).wrapping_mul(0xFF51AFD7ED558CCD).rotate_left(29);

@@ -169,7 +169,7 @@ mod tests {
 
     #[test]
     fn incremental_equals_oneshot() {
-        let data: Vec<u8> = (0..10_000u32).flat_map(|x| x.to_le_bytes()).collect();
+        let data: Vec<u8> = (0..10_000u32).flat_map(u32::to_le_bytes).collect();
         for split in [1usize, 13, 63, 64, 65, 255, 8192] {
             let mut h = Sha1::new();
             for piece in data.chunks(split) {

@@ -115,7 +115,7 @@ impl AppAwareIndex {
 
     /// Total entries across all partitions.
     pub fn len(&self) -> usize {
-        self.partitions.iter().map(|p| p.len()).sum()
+        self.partitions.iter().map(super::partition::IndexPartition::len).sum()
     }
 
     /// True when all partitions are empty.
@@ -164,7 +164,12 @@ impl AppAwareIndex {
                 }));
             }
             for h in handles {
-                slots.extend(h.join().expect("lookup thread panicked"));
+                match h.join() {
+                    Ok(part) => slots.extend(part),
+                    // Re-raise the worker's panic payload on the caller
+                    // thread instead of replacing it with our own message.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
             }
         });
         for (i, entry) in slots {

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Chunk fingerprint indexes for AA-Dedupe.
 //!
 //! A dedup index maps each chunk fingerprint to where that chunk lives in

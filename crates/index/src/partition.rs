@@ -187,10 +187,14 @@ impl IndexPartition {
     }
 
     /// Iterates over all `(fingerprint, entry)` pairs into a vector
-    /// (used by the snapshot codec).
+    /// (used by the snapshot codec). Sorted by fingerprint so snapshot
+    /// bytes do not depend on `HashMap` iteration order.
     pub fn dump(&self) -> Vec<(Fingerprint, ChunkEntry)> {
         let g = self.inner.lock();
-        g.map.iter().map(|(k, v)| (*k, *v)).collect()
+        let mut entries: Vec<(Fingerprint, ChunkEntry)> =
+            g.map.iter().map(|(k, v)| (*k, *v)).collect();
+        entries.sort_unstable_by_key(|(fp, _)| *fp);
+        entries
     }
 
     /// Bulk-loads entries (used by the snapshot codec). Existing entries

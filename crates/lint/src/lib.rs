@@ -1,0 +1,124 @@
+#![forbid(unsafe_code)]
+//! `aalint` — workspace-native static analysis for AA-Dedupe.
+//!
+//! Enforces, at the source level and on every commit, the two
+//! hardest-won invariants of this codebase plus two hygiene contracts
+//! (DESIGN §12 catalogs the rules; §8/§11 state the contracts they
+//! guard):
+//!
+//! - **L1 `swallowed-result` / `unwrap-in-lib`** — no storage or I/O
+//!   error is ever silently dropped (`let _ = call(...)`, trailing
+//!   `.ok();`), and library code never panics where it should
+//!   propagate.
+//! - **L2 `nondeterministic-time` / `unordered-iteration`** — dedup
+//!   decisions (chunk boundaries, fingerprints, index placement,
+//!   container layout) are byte-reproducible: no wall-clock or
+//!   thread-identity reads in decision crates, no hash-order traversal
+//!   feeding manifests, layout, or reports without a sort.
+//! - **L3 `blocking-under-lock`** — no blocking channel/thread call
+//!   while a `MutexGuard` is live in the same scope.
+//! - **L4 `unsafe-code` / `missing-forbid-unsafe`** — `unsafe` only in
+//!   `vendor/`; every first-party crate root carries
+//!   `#![forbid(unsafe_code)]`.
+//!
+//! Suppression is per-site via
+//! `// aalint: allow(<rule>) -- <justification>`; every used allow is
+//! inventoried in the report, malformed or unused allows are
+//! themselves diagnostics. The scanner is hand-rolled and std-only (no
+//! `syn`): the container is air-gapped, and the rules are linear token
+//! patterns that do not need a full parse.
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+pub use report::{Allow, Diagnostic, Report};
+
+/// Directories never descended into, at any depth.
+const SKIP_DIRS: &[&str] = &["target", "vendor", "fixtures", ".git", ".github", "results"];
+
+/// Scans every first-party `.rs` file under `root` (a workspace root)
+/// and returns the sorted report.
+pub fn scan_workspace(root: &Path) -> std::io::Result<Report> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+    let mut report = Report::default();
+    for rel in files {
+        let src = fs::read_to_string(root.join(&rel))?;
+        let (diags, allows) = rules::scan_source(&rel, &src);
+        if rules::classify(&rel).is_some() {
+            report.files_scanned += 1;
+        }
+        report.diagnostics.extend(diags);
+        report.allows.extend(allows);
+    }
+    report.sort();
+    Ok(report)
+}
+
+/// Recursively collects workspace-relative `/`-separated `.rs` paths.
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            if let Ok(rel) = path.strip_prefix(root) {
+                let rel = rel
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy())
+                    .collect::<Vec<_>>()
+                    .join("/");
+                out.push(rel);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Walks upward from `start` to the directory whose `Cargo.toml`
+/// declares `[workspace]` — the scan root when invoked via
+/// `cargo run -p aalint` from anywhere inside the tree.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_root_found_from_crate_dir() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).expect("workspace root");
+        assert!(root.join("crates/lint").is_dir());
+    }
+
+    #[test]
+    fn scan_workspace_covers_this_crate() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).expect("workspace root");
+        let report = scan_workspace(&root).expect("scan");
+        assert!(report.files_scanned > 50, "walker found the workspace sources");
+    }
+}

@@ -1,0 +1,22 @@
+//! L1 fixtures: swallowed results and library panics.
+
+pub fn swallows_send(tx: &std::sync::mpsc::Sender<u32>) {
+    let _ = tx.send(1);
+}
+
+pub fn swallows_remove() {
+    std::fs::remove_file("stale.tmp").ok();
+}
+
+pub fn panics_in_lib(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn suppressed_send(tx: &std::sync::mpsc::Sender<u32>) {
+    // aalint: allow(swallowed-result) -- fixture: receiver hangup means shutdown, nothing to report
+    let _ = tx.send(2);
+}
+
+pub fn suppressed_unwrap(v: Option<u32>) -> u32 {
+    v.unwrap() // aalint: allow(unwrap-in-lib) -- fixture: invariant established by the caller
+}

@@ -1,0 +1,28 @@
+//! L2 fixtures: wall-clock reads and hash-order traversals in a
+//! dedup-decision crate.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn stamps_decisions() -> Instant {
+    Instant::now()
+}
+
+pub fn leaks_hash_order(m: &HashMap<u64, u32>) -> Vec<u64> {
+    let mut out = Vec::new();
+    for k in m.keys() {
+        out.push(*k);
+    }
+    out
+}
+
+pub fn sorted_is_clean(m: &HashMap<u64, u32>) -> Vec<u64> {
+    let mut v: Vec<u64> = m.keys().copied().collect();
+    v.sort_unstable();
+    v
+}
+
+pub fn suppressed_fold(m: &HashMap<u64, u32>) -> u64 {
+    // aalint: allow(unordered-iteration) -- fixture: xor-fold is order-insensitive
+    m.keys().fold(0, |acc, k| acc ^ *k)
+}

@@ -1,0 +1,5 @@
+//! L4 fixture: `unsafe` outside vendor/ (never suppressible).
+
+pub fn peeks(bytes: &[u8]) -> u8 {
+    unsafe { *bytes.as_ptr() }
+}

@@ -1,0 +1,7 @@
+//! Fixture crate root deliberately missing `#![forbid(unsafe_code)]`.
+
+pub mod allow_hygiene;
+pub mod l1_errors;
+pub mod l2_determinism;
+pub mod l3_locks;
+pub mod l4_unsafe;

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Evaluation metrics and analytic models for AA-Dedupe.
 //!
 //! The paper's Table II glossary, reproduced here because every symbol

@@ -273,7 +273,8 @@ impl Parser<'_> {
         while matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
             self.i += 1;
         }
-        let text = std::str::from_utf8(&self.b[start..self.i]).expect("ascii digits");
+        let text = std::str::from_utf8(&self.b[start..self.i])
+            .map_err(|_| ParseError { at: start, msg: "bad number" })?;
         text.parse::<f64>().map(Value::Num).map_err(|_| ParseError { at: start, msg: "bad number" })
     }
 }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Observability for the AA-Dedupe pipeline — std-only, zero-cost when
 //! disabled.
 //!
@@ -411,7 +412,7 @@ impl Recorder {
     /// Registers a human-readable label for an application tag (idempotent;
     /// used by the snapshot exports).
     pub fn label_app(&self, tag: u8, label: impl Into<String>) {
-        let mut g = self.app_labels.lock().unwrap_or_else(|e| e.into_inner());
+        let mut g = self.app_labels.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         if !g.iter().any(|(t, _)| *t == tag) {
             g.push((tag, label.into()));
         }
@@ -452,7 +453,7 @@ impl Recorder {
         if self.is_enabled() {
             self.workers
                 .lock()
-                .unwrap_or_else(|e| e.into_inner())
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .push(WorkerTime { role, id, busy, idle });
         }
     }
@@ -497,13 +498,12 @@ impl Recorder {
     /// threads record; each histogram snapshot is internally consistent
     /// (its count is the sum of its buckets).
     pub fn snapshot(&self) -> Snapshot {
-        let labels = self.app_labels.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        let labels = self.app_labels.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone();
         let label_of = |tag: u8| {
             labels
                 .iter()
                 .find(|(t, _)| *t == tag)
-                .map(|(_, l)| l.clone())
-                .unwrap_or_else(|| format!("app_{tag:02}"))
+                .map_or_else(|| format!("app_{tag:02}"), |(_, l)| l.clone())
         };
         let mut apps = Vec::new();
         for tag in 0..MAX_APP_TAG {
@@ -516,7 +516,7 @@ impl Recorder {
         let mut workers: Vec<WorkerSnapshot> = self
             .workers
             .lock()
-            .unwrap_or_else(|e| e.into_inner())
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .iter()
             .map(|w| WorkerSnapshot {
                 role: w.role,
@@ -567,7 +567,7 @@ impl Recorder {
             q.depth.store(0, Relaxed);
             q.hwm.store(0, Relaxed);
         }
-        self.workers.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        self.workers.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clear();
         self.trace.drain();
     }
 }

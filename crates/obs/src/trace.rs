@@ -47,26 +47,26 @@ pub struct TraceSink {
 impl TraceSink {
     /// The small integer id for the calling thread.
     pub fn tid(&self) -> u32 {
-        let mut g = self.tids.lock().unwrap_or_else(|e| e.into_inner());
+        let mut g = self.tids.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let next = g.len() as u32;
         *g.entry(std::thread::current().id()).or_insert(next)
     }
 
     /// Buffers one event.
     pub fn push(&self, ev: TraceEvent) {
-        self.events.lock().unwrap_or_else(|e| e.into_inner()).push(ev);
+        self.events.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push(ev);
     }
 
     /// Takes every buffered event, ordered by start time.
     pub fn drain(&self) -> Vec<TraceEvent> {
-        let mut evs = std::mem::take(&mut *self.events.lock().unwrap_or_else(|e| e.into_inner()));
+        let mut evs = std::mem::take(&mut *self.events.lock().unwrap_or_else(std::sync::PoisonError::into_inner));
         evs.sort_by_key(|e| e.ts_ns);
         evs
     }
 
     /// Buffered event count.
     pub fn len(&self) -> usize {
-        self.events.lock().unwrap_or_else(|e| e.into_inner()).len()
+        self.events.lock().unwrap_or_else(std::sync::PoisonError::into_inner).len()
     }
 
     /// True when no events are buffered.

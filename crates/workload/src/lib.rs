@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Synthetic PC backup workload generator.
 //!
 //! The paper drives its evaluation with a private trace: 10 consecutive

@@ -62,7 +62,15 @@ impl SizeBucket {
     }
 
     fn index(self) -> usize {
-        SizeBucket::ALL.iter().position(|b| *b == self).expect("bucket listed")
+        // Must agree with the ordering of `SizeBucket::ALL`.
+        match self {
+            SizeBucket::Under10K => 0,
+            SizeBucket::K10To100K => 1,
+            SizeBucket::K100To1M => 2,
+            SizeBucket::M1To10M => 3,
+            SizeBucket::M10To100M => 4,
+            SizeBucket::Over100M => 5,
+        }
     }
 }
 

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # AA-Dedupe
 //!
 //! A Rust reproduction of **"AA-Dedupe: An Application-Aware Source

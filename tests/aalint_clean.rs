@@ -1,0 +1,26 @@
+//! Meta-test: the workspace's own sources pass `aalint`.
+//!
+//! This is the enforcement point that keeps `cargo test` equivalent to
+//! `cargo run -p aalint -- check` — a violation anywhere in first-party
+//! code fails the ordinary test suite, not just the dedicated CI job.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_aalint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = aalint::scan_workspace(root).expect("scan workspace");
+    assert!(
+        report.files_scanned > 50,
+        "walker lost the workspace: only {} files scanned",
+        report.files_scanned
+    );
+    assert!(report.clean(), "aalint violations in first-party code:\n{}", report.render_text());
+    // Every suppression carries a justification by construction; keep the
+    // inventory visible in test output so reviewers see the count move.
+    println!(
+        "aalint: {} files, {} allows inventoried",
+        report.files_scanned,
+        report.allows.len()
+    );
+}

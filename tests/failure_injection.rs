@@ -36,7 +36,7 @@ fn corrupted_container_data_is_detected() {
     for key in engine.cloud().store().list("aa-dedupe/containers/") {
         let raw = engine.cloud().store().get(&key).unwrap().unwrap();
         let parsed = aa_dedupe::container::ParsedContainer::parse(&raw).unwrap();
-        let desc_len: usize = parsed.descriptors.iter().map(|d| d.encoded_len()).sum();
+        let desc_len: usize = parsed.descriptors.iter().map(aa_dedupe::container::ChunkDescriptor::encoded_len).sum();
         let first = parsed.descriptors.first().expect("non-empty container");
         let abs = aa_dedupe::container::format::HEADER_LEN + desc_len + first.offset as usize;
         assert!(engine.cloud().store().corrupt(&key, abs));
@@ -488,7 +488,7 @@ fn restore_corruption_detected_identically_across_worker_counts() {
     let key = keys.last().expect("containers exist");
     let raw = inner.get(key).unwrap().unwrap();
     let parsed = aa_dedupe::container::ParsedContainer::parse(&raw).unwrap();
-    let desc_len: usize = parsed.descriptors.iter().map(|d| d.encoded_len()).sum();
+    let desc_len: usize = parsed.descriptors.iter().map(aa_dedupe::container::ChunkDescriptor::encoded_len).sum();
     let target = aa_dedupe::container::format::HEADER_LEN
         + desc_len
         + parsed.descriptors[0].offset as usize;
