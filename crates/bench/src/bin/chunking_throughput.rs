@@ -1,0 +1,134 @@
+//! Chunking throughput: the CDC boundary-algorithm cost ladder, as JSON.
+//!
+//! Runs every CDC boundary algorithm (Rabin scan, gear-hash FastCDC) plus
+//! the WFC/SC reference points over the same workload-generated corpus —
+//! two weekly snapshots, so the dedup-ratio column reflects real
+//! cross-version redundancy, not just intra-file repeats — and reports
+//! MB/s, mean chunk size and dedup ratio per algorithm as a JSON document
+//! on stdout. CI consumes the JSON to enforce the FastCDC speedup floor;
+//! EXPERIMENTS.md quotes the table.
+//!
+//! Throughput times the boundary scan alone (no SHA-1, no index), best of
+//! `AA_CHUNK_REPS`: the number is the chunker's cost, comparable across
+//! algorithms because both consume identical bytes.
+//!
+//! Run: `cargo run --release -p aadedupe-bench --bin chunking_throughput`
+//!
+//! Environment knobs:
+//! * `AA_CHUNK_MB` — approximate corpus size in MiB (default 64).
+//! * `AA_CHUNK_REPS` — timed repetitions; fastest reported (default 3).
+//! * `AA_CHUNK_SEED` — workload generator seed (default 42).
+
+use std::collections::HashSet;
+use std::time::Instant;
+
+use aadedupe_chunking::{
+    CdcAlgorithm, Chunker, ContentChunker, ScChunker, WfcChunker, DEFAULT_CDC, DEFAULT_SC_SIZE,
+};
+use aadedupe_workload::{DatasetSpec, Generator};
+
+fn env_or<T: std::str::FromStr>(key: &str, default: T) -> T {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Two consecutive weekly snapshots of the evaluation mix, materialized.
+fn corpus(mb: usize, seed: u64) -> Vec<Vec<u8>> {
+    let mut gen = Generator::new(DatasetSpec::eval_mix((mb as u64) << 20), seed);
+    let mut files = Vec::new();
+    for week in 0..2 {
+        let snap = gen.snapshot(week);
+        for src in snap.as_sources() {
+            files.push(src.read());
+        }
+    }
+    files
+}
+
+struct Row {
+    name: &'static str,
+    mib_per_s: f64,
+    chunks: usize,
+    mean_chunk: usize,
+    dedup_ratio: f64,
+}
+
+/// Times the boundary scan (best of `reps`), then hashes once to compute
+/// the dedup ratio and chunk-count stats.
+fn measure(name: &'static str, chunker: &dyn Chunker, files: &[Vec<u8>], reps: usize) -> Row {
+    let logical: usize = files.iter().map(Vec::len).sum();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let mut total = 0usize;
+        for f in files {
+            total += chunker.chunk(std::hint::black_box(f)).len();
+        }
+        std::hint::black_box(total);
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+
+    let mut unique: HashSet<[u8; 20]> = HashSet::new();
+    let mut stored = 0u64;
+    let mut chunks = 0usize;
+    for f in files {
+        for span in chunker.chunk(f) {
+            chunks += 1;
+            if unique.insert(aadedupe_hashing::sha1(span.slice(f))) {
+                stored += span.len as u64;
+            }
+        }
+    }
+    Row {
+        name,
+        mib_per_s: logical as f64 / (1 << 20) as f64 / best,
+        chunks,
+        mean_chunk: logical / chunks.max(1),
+        dedup_ratio: aadedupe_metrics::dedup_ratio(logical as u64, stored),
+    }
+}
+
+fn main() {
+    let mb: usize = env_or("AA_CHUNK_MB", 64);
+    let reps: usize = env_or("AA_CHUNK_REPS", 3);
+    let seed: u64 = env_or("AA_CHUNK_SEED", 42);
+
+    let files = corpus(mb, seed);
+    let logical: usize = files.iter().map(Vec::len).sum();
+    eprintln!(
+        "chunking_throughput: {} files, {} MiB (two snapshots), best of {reps}",
+        files.len(),
+        logical >> 20
+    );
+
+    let rabin = ContentChunker::new(DEFAULT_CDC);
+    let fastcdc = ContentChunker::new(DEFAULT_CDC.with_algorithm(CdcAlgorithm::FastCdc));
+    let rows = [
+        measure("wfc", &WfcChunker::new(), &files, reps),
+        measure("sc", &ScChunker::new(DEFAULT_SC_SIZE), &files, reps),
+        measure("rabin", &rabin, &files, reps),
+        measure("fastcdc", &fastcdc, &files, reps),
+    ];
+
+    let speed = |name: &str| {
+        rows.iter().find(|r| r.name == name).map_or(f64::NAN, |r| r.mib_per_s)
+    };
+    println!("{{");
+    println!("  \"workload_mib\": {},", logical >> 20);
+    println!("  \"files\": {},", files.len());
+    println!("  \"reps\": {reps},");
+    println!("  \"seed\": {seed},");
+    println!("  \"results\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        println!(
+            "    {{\"algorithm\": \"{}\", \"mib_per_s\": {:.2}, \"chunks\": {}, \"mean_chunk_bytes\": {}, \"dedup_ratio\": {:.4}}}{comma}",
+            r.name, r.mib_per_s, r.chunks, r.mean_chunk, r.dedup_ratio
+        );
+    }
+    println!("  ],");
+    println!(
+        "  \"fastcdc_speedup_over_rabin\": {:.3}",
+        speed("fastcdc") / speed("rabin")
+    );
+    println!("}}");
+}

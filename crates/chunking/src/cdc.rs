@@ -12,7 +12,7 @@
 //! forces a cut, which is precisely why CDC *loses* to SC on static data:
 //! long boundary-free stretches get cut at arbitrary max-size positions.
 
-use crate::{CdcParams, ChunkSpan, Chunker, ChunkingMethod, DEFAULT_CDC};
+use crate::{CdcAlgorithm, CdcParams, ChunkSpan, Chunker, ChunkingMethod, DEFAULT_CDC};
 use aadedupe_hashing::rabin::RollingHash;
 
 /// Boundary magic value compared against the masked rolling hash. Nonzero
@@ -37,8 +37,12 @@ impl Default for CdcChunker {
 }
 
 impl CdcChunker {
-    /// Chunker with the given CDC parameters (validated on construction).
+    /// Chunker with the given CDC parameters (validated on construction;
+    /// the algorithm field is forced to [`CdcAlgorithm::Rabin`] so
+    /// `params()` always tells the truth — this type *is* the Rabin
+    /// implementation, whatever the caller's tag said).
     pub fn new(params: CdcParams) -> Self {
+        let params = params.with_algorithm(CdcAlgorithm::Rabin);
         params.validate();
         CdcChunker {
             params,
@@ -51,52 +55,57 @@ impl CdcChunker {
         &self.params
     }
 
-    /// Finds all chunk boundaries (cut positions, exclusive end offsets) in
-    /// `data`. The final position `data.len()` is always the last cut.
-    pub fn boundaries(&self, data: &[u8]) -> Vec<usize> {
+    /// One chunk decision over the stream remainder `data`, using (and
+    /// resetting) the caller's rolling hash. Returns the cut length.
+    fn cut_with(&self, rh: &mut RollingHash, data: &[u8]) -> usize {
         let CdcParams { min_size, max_size, window, .. } = self.params;
         let mask = self.params.mask();
         let magic = BOUNDARY_MAGIC & mask;
+        if data.len() <= min_size {
+            return data.len();
+        }
+        // Prime the window with the `window` bytes preceding the first
+        // candidate cut at `min_size`.
+        rh.reset();
+        for &b in &data[min_size - window..min_size] {
+            rh.push(b);
+        }
+        let upper = data.len().min(max_size);
+        // Candidate cut lengths: min_size ..= upper. The window for a cut
+        // of length L ends at byte L-1.
+        if rh.value() & mask == magic {
+            return min_size;
+        }
+        for len in min_size + 1..=upper {
+            let incoming = data[len - 1];
+            let outgoing = data[len - 1 - window];
+            rh.roll(outgoing, incoming);
+            if rh.value() & mask == magic {
+                return len;
+            }
+        }
+        upper
+    }
+
+    /// Length of the first chunk of `data`, treating `data` as the
+    /// remainder of the stream: the returned cut is final given at least
+    /// `max_size` bytes of lookahead (or end-of-stream). Mirrors
+    /// [`FastCdcChunker::first_cut`](crate::FastCdcChunker::first_cut).
+    pub fn first_cut(&self, data: &[u8]) -> usize {
+        let mut rh = self.hasher.clone();
+        self.cut_with(&mut rh, data)
+    }
+
+    /// Finds all chunk boundaries (cut positions, exclusive end offsets) in
+    /// `data`. The final position `data.len()` is always the last cut.
+    pub fn boundaries(&self, data: &[u8]) -> Vec<usize> {
         let mut cuts = Vec::new();
         let mut start = 0usize;
         let mut rh = self.hasher.clone();
-
         while start < data.len() {
-            let remaining = data.len() - start;
-            if remaining <= min_size {
-                cuts.push(data.len());
-                break;
-            }
-            // Prime the window with the `window` bytes preceding the first
-            // candidate cut at `start + min_size`.
-            rh.reset();
-            let prime_from = start + min_size - window;
-            for &b in &data[prime_from..start + min_size] {
-                rh.push(b);
-            }
-            let mut cut = None;
-            let upper = remaining.min(max_size);
-            // Candidate cut lengths: min_size ..= upper. The window for a
-            // cut of length L ends at byte start+L-1.
-            if rh.value() & mask == magic {
-                cut = Some(start + min_size);
-            } else {
-                for len in min_size + 1..=upper {
-                    let incoming = data[start + len - 1];
-                    let outgoing = data[start + len - 1 - window];
-                    rh.roll(outgoing, incoming);
-                    if rh.value() & mask == magic {
-                        cut = Some(start + len);
-                        break;
-                    }
-                }
-            }
-            let cut = cut.unwrap_or(start + upper);
+            let cut = start + self.cut_with(&mut rh, &data[start..]);
             cuts.push(cut);
             start = cut;
-            if start == data.len() {
-                break;
-            }
         }
         cuts
     }
@@ -248,7 +257,7 @@ mod tests {
 
     #[test]
     fn custom_params() {
-        let p = CdcParams { min_size: 256, avg_size: 1024, max_size: 4096, window: 32 };
+        let p = CdcParams { min_size: 256, avg_size: 1024, max_size: 4096, window: 32, ..DEFAULT_CDC };
         let chunker = CdcChunker::new(p);
         let data = pseudo_random(200_000, 21);
         let spans = chunker.chunk(&data);

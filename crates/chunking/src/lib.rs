@@ -16,19 +16,32 @@
 //!   applications, where it survives the boundary-shifting problem caused by
 //!   inserts/deletes.
 //!
+//! The CDC family has two interchangeable boundary algorithms, selected by
+//! [`CdcParams::algorithm`] and dispatched through [`ContentChunker`]:
+//! the paper's Rabin scan ([`cdc`], the fidelity oracle) and the gear-hash
+//! FastCDC kernel ([`fastcdc`], backed by the compile-time [`gear`] table)
+//! which delivers the same dedup ratio at a fraction of the CPU. Their
+//! equivalence is enforced by the differential fidelity harness
+//! (`tests/chunker_fidelity.rs` at the workspace root).
+//!
 //! All chunkers implement the [`Chunker`] trait over byte slices and return
 //! byte *ranges* so callers can avoid copying. The crate also provides
 //! [`params::CdcParams`] for parameter sweeps and the [`ChunkingMethod`] tag
 //! used across the workspace.
 
 pub mod cdc;
+pub mod fastcdc;
+pub mod gear;
 pub mod params;
 pub mod sc;
 pub mod stream;
 pub mod wfc;
 
 pub use cdc::CdcChunker;
-pub use params::{CdcParams, DEFAULT_CDC, DEFAULT_SC_SIZE};
+pub use fastcdc::FastCdcChunker;
+pub use params::{
+    CdcAlgorithm, CdcParams, DEFAULT_CDC, DEFAULT_FASTCDC, DEFAULT_NORM_LEVEL, DEFAULT_SC_SIZE,
+};
 pub use sc::ScChunker;
 pub use stream::{InstrumentedChunker, StreamChunker, StreamedChunk};
 pub use wfc::WfcChunker;
@@ -105,6 +118,68 @@ impl ChunkSpan {
     /// The chunk's bytes within `source`.
     pub fn slice<'a>(&self, source: &'a [u8]) -> &'a [u8] {
         &source[self.offset..self.end()]
+    }
+}
+
+/// A content-defined chunker of either boundary algorithm, selected by
+/// [`CdcParams::algorithm`]. This is the type the engine's chunking
+/// dispatch builds: the size contract (min/avg/max) is identical across
+/// algorithms, only the cut positions differ.
+#[derive(Clone)]
+pub enum ContentChunker {
+    /// The paper's 48-byte-window Rabin scan (the fidelity oracle).
+    /// Boxed: the precomputed Rabin tables dwarf the gear variant.
+    Rabin(Box<CdcChunker>),
+    /// Gear-hash FastCDC with normalized chunking.
+    FastCdc(FastCdcChunker),
+}
+
+impl ContentChunker {
+    /// Builds the chunker named by `params.algorithm`.
+    pub fn new(params: CdcParams) -> Self {
+        match params.algorithm {
+            CdcAlgorithm::Rabin => ContentChunker::Rabin(Box::new(CdcChunker::new(params))),
+            CdcAlgorithm::FastCdc => ContentChunker::FastCdc(FastCdcChunker::new(params)),
+        }
+    }
+
+    /// The configured parameters (algorithm tag included).
+    pub fn params(&self) -> &CdcParams {
+        match self {
+            ContentChunker::Rabin(c) => c.params(),
+            ContentChunker::FastCdc(c) => c.params(),
+        }
+    }
+
+    /// Length of the first chunk of `data`, treating `data` as the stream
+    /// remainder; final given `max_size` bytes of lookahead or EOF.
+    pub fn first_cut(&self, data: &[u8]) -> usize {
+        match self {
+            ContentChunker::Rabin(c) => c.first_cut(data),
+            ContentChunker::FastCdc(c) => c.first_cut(data),
+        }
+    }
+
+    /// All cut positions (exclusive end offsets); the final position is
+    /// always `data.len()`.
+    pub fn boundaries(&self, data: &[u8]) -> Vec<usize> {
+        match self {
+            ContentChunker::Rabin(c) => c.boundaries(data),
+            ContentChunker::FastCdc(c) => c.boundaries(data),
+        }
+    }
+}
+
+impl Chunker for ContentChunker {
+    fn chunk(&self, data: &[u8]) -> Vec<ChunkSpan> {
+        match self {
+            ContentChunker::Rabin(c) => c.chunk(data),
+            ContentChunker::FastCdc(c) => c.chunk(data),
+        }
+    }
+
+    fn method(&self) -> ChunkingMethod {
+        ChunkingMethod::Cdc
     }
 }
 

@@ -13,7 +13,7 @@
 
 use std::io::Read;
 
-use crate::{CdcChunker, ChunkingMethod, ScChunker};
+use crate::{CdcChunker, ChunkingMethod, ContentChunker, FastCdcChunker, ScChunker};
 
 /// A chunk produced by streaming: its bytes plus global offset.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,8 +40,8 @@ pub struct StreamChunker<R: Read> {
 enum Method {
     Wfc,
     Sc(ScChunker),
-    // Boxed: CdcChunker embeds its 4 KiB roll table.
-    Cdc(Box<CdcChunker>),
+    // Boxed: the Rabin variant embeds its 4 KiB roll table.
+    Cdc(Box<ContentChunker>),
 }
 
 impl<R: Read> StreamChunker<R> {
@@ -55,15 +55,28 @@ impl<R: Read> StreamChunker<R> {
         Self::new(reader, Method::Sc(chunker))
     }
 
-    /// Content-defined streaming.
+    /// Content-defined streaming with Rabin boundaries (the historical
+    /// entry point; [`StreamChunker::content`] takes either algorithm).
     pub fn cdc(reader: R, chunker: CdcChunker) -> Self {
+        Self::content(reader, ContentChunker::Rabin(Box::new(chunker)))
+    }
+
+    /// Content-defined streaming with gear-hash FastCDC boundaries.
+    pub fn fastcdc(reader: R, chunker: FastCdcChunker) -> Self {
+        Self::content(reader, ContentChunker::FastCdc(chunker))
+    }
+
+    /// Content-defined streaming with whichever boundary algorithm the
+    /// chunker was built for.
+    pub fn content(reader: R, chunker: ContentChunker) -> Self {
         Self::new(reader, Method::Cdc(Box::new(chunker)))
     }
 
     /// Streaming chunker for any [`ChunkingMethod`], constructed from the
     /// method's parameters — the entry point the parallel backup pipeline
     /// uses so every worker thread builds its own chunker (the type is
-    /// `Send`; see the `stream_chunker_is_send` test).
+    /// `Send`; see the `stream_chunker_is_send` test). For CDC, the
+    /// boundary algorithm comes from `cdc.algorithm`.
     pub fn for_method(
         reader: R,
         method: ChunkingMethod,
@@ -73,7 +86,7 @@ impl<R: Read> StreamChunker<R> {
         match method {
             ChunkingMethod::Wfc => Self::wfc(reader),
             ChunkingMethod::Sc => Self::sc(reader, ScChunker::new(sc_chunk_size)),
-            ChunkingMethod::Cdc => Self::cdc(reader, CdcChunker::new(cdc)),
+            ChunkingMethod::Cdc => Self::content(reader, ContentChunker::new(cdc)),
         }
     }
 
@@ -180,13 +193,15 @@ impl<R: Read> Iterator for StreamChunker<R> {
             Method::Sc(sc) => (sc.chunk_size().min(self.buf.len()), ChunkingMethod::Sc),
             Method::Cdc(cdc) => {
                 // A boundary found with max_size bytes visible is final:
-                // CDC decisions depend only on preceding bytes.
+                // both CDC algorithms decide each cut from the current
+                // chunk's bytes alone (Rabin re-primes its window, the
+                // gear hash restarts at zero), never from bytes past it.
                 let cut = if self.buf.len() <= cdc.params().max_size && self.eof {
                     // Tail: chunk exactly as the batch API would.
-                    cdc.boundaries(&self.buf)[0]
+                    cdc.first_cut(&self.buf)
                 } else {
                     let upper = cdc.params().max_size.min(self.buf.len());
-                    cdc.boundaries(&self.buf[..upper])[0]
+                    cdc.first_cut(&self.buf[..upper])
                 };
                 (cut, ChunkingMethod::Cdc)
             }
@@ -198,7 +213,7 @@ impl<R: Read> Iterator for StreamChunker<R> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{CdcParams, Chunker, WfcChunker, DEFAULT_CDC};
+    use crate::{CdcParams, Chunker, WfcChunker, DEFAULT_CDC, DEFAULT_FASTCDC};
 
     fn pseudo_random(len: usize, seed: u64) -> Vec<u8> {
         let mut x = seed | 1;
@@ -248,7 +263,8 @@ mod tests {
 
     #[test]
     fn cdc_stream_matches_batch_custom_params() {
-        let params = CdcParams { min_size: 256, avg_size: 1024, max_size: 4096, window: 48 };
+        let params =
+            CdcParams { min_size: 256, avg_size: 1024, max_size: 4096, window: 48, ..DEFAULT_CDC };
         let data = pseudo_random(150_000, 9);
         let batch: Vec<usize> =
             CdcChunker::new(params).chunk(&data).iter().map(|s| s.len).collect();
@@ -256,6 +272,59 @@ mod tests {
             collect_stream(StreamChunker::cdc(&data[..], CdcChunker::new(params)));
         assert_eq!(reassembled, data);
         assert_eq!(lens, batch);
+    }
+
+    #[test]
+    fn fastcdc_stream_matches_batch() {
+        for (len, seed) in [(0usize, 2u64), (100, 3), (2048, 4), (50_000, 5), (400_000, 6)] {
+            let data = pseudo_random(len, seed);
+            let fast = FastCdcChunker::default();
+            let batch: Vec<usize> = fast.chunk(&data).iter().map(|s| s.len).collect();
+            let (reassembled, lens) =
+                collect_stream(StreamChunker::fastcdc(&data[..], FastCdcChunker::default()));
+            assert_eq!(reassembled, data, "len={len}");
+            assert_eq!(lens, batch, "len={len}");
+        }
+    }
+
+    #[test]
+    fn fastcdc_stream_matches_batch_custom_params() {
+        let params = CdcParams {
+            min_size: 256,
+            avg_size: 1024,
+            max_size: 4096,
+            ..DEFAULT_FASTCDC
+        };
+        let data = pseudo_random(150_000, 9);
+        let batch: Vec<usize> =
+            FastCdcChunker::new(params).chunk(&data).iter().map(|s| s.len).collect();
+        let (reassembled, lens) =
+            collect_stream(StreamChunker::content(&data[..], ContentChunker::new(params)));
+        assert_eq!(reassembled, data);
+        assert_eq!(lens, batch);
+    }
+
+    #[test]
+    fn for_method_honours_cdc_algorithm() {
+        // The same data must chunk differently under the two algorithms
+        // (they are different hash families), and for_method must route
+        // by the params' algorithm tag.
+        let data = pseudo_random(300_000, 33);
+        let rabin: Vec<usize> =
+            StreamChunker::for_method(&data[..], ChunkingMethod::Cdc, 8192, DEFAULT_CDC)
+                .map(|c| c.data.len())
+                .collect();
+        let fast: Vec<usize> =
+            StreamChunker::for_method(&data[..], ChunkingMethod::Cdc, 8192, DEFAULT_FASTCDC)
+                .map(|c| c.data.len())
+                .collect();
+        let direct_fast: Vec<usize> = StreamChunker::fastcdc(&data[..], FastCdcChunker::default())
+            .map(|c| c.data.len())
+            .collect();
+        assert_eq!(fast, direct_fast);
+        assert_ne!(rabin, fast, "algorithms unexpectedly produced identical cut sequences");
+        assert_eq!(rabin.iter().sum::<usize>(), data.len());
+        assert_eq!(fast.iter().sum::<usize>(), data.len());
     }
 
     #[test]

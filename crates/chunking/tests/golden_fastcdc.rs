@@ -1,0 +1,98 @@
+//! Golden vectors: the gear table, the spread masks and the cut points
+//! of both CDC algorithms on a fixed seeded buffer, pinned to a
+//! checked-in fixture.
+//!
+//! Cut positions are on-disk-stability-adjacent: a silent change to the
+//! gear table, the mask layout or the scan loop would re-chunk every
+//! byte of every existing repository on the next backup — dedup against
+//! old sessions would drop to zero without any test failing. This file
+//! makes such a change loud.
+//!
+//! If a change is *intentional*, regenerate the fixture with
+//! `AA_BLESS=1 cargo test -p aadedupe-chunking --test golden_fastcdc`
+//! and justify the re-chunking cost in the commit.
+
+use std::fmt::Write as _;
+
+use aadedupe_chunking::gear::{spread_mask, GEAR, GEAR_SEED};
+use aadedupe_chunking::{CdcAlgorithm, CdcChunker, ContentChunker, DEFAULT_CDC};
+
+const FIXTURE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/golden_cuts.txt");
+
+/// Fixed pseudo-random buffer: xorshift64, seed pinned forever.
+fn golden_buffer() -> Vec<u8> {
+    let mut x = 0xA11C_E5EEDu64;
+    (0..256 * 1024)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x >> 32) as u8
+        })
+        .collect()
+}
+
+/// Canonical rendering of everything pinned.
+fn render() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "gear_seed {GEAR_SEED:#018x}");
+    // Spot entries plus a whole-table fold: any single-entry change
+    // flips the fold even if it misses the spot checks.
+    for i in [0usize, 1, 127, 128, 255] {
+        let _ = writeln!(out, "gear[{i}] {:#018x}", GEAR[i]);
+    }
+    let fold = GEAR.iter().fold(0u64, |acc, &g| acc.rotate_left(1) ^ g);
+    let _ = writeln!(out, "gear_fold {fold:#018x}");
+    for bits in [11u32, 13, 15] {
+        let _ = writeln!(out, "spread_mask({bits}) {:#018x}", spread_mask(bits));
+    }
+    let data = golden_buffer();
+    let rabin = CdcChunker::default().boundaries(&data);
+    let fast =
+        ContentChunker::new(DEFAULT_CDC.with_algorithm(CdcAlgorithm::FastCdc)).boundaries(&data);
+    let join = |cuts: &[usize]| {
+        cuts.iter().map(ToString::to_string).collect::<Vec<_>>().join(",")
+    };
+    let _ = writeln!(out, "rabin_cuts {}", join(&rabin));
+    let _ = writeln!(out, "fastcdc_cuts {}", join(&fast));
+    out
+}
+
+#[test]
+fn cut_points_and_gear_table_match_the_fixture() {
+    let rendered = render();
+    if std::env::var("AA_BLESS").is_ok() {
+        std::fs::write(FIXTURE, &rendered).expect("write fixture");
+        return;
+    }
+    let expected = std::fs::read_to_string(FIXTURE)
+        .expect("fixture missing — run with AA_BLESS=1 to generate");
+    assert_eq!(
+        rendered, expected,
+        "golden vectors drifted: the gear table, masks or scan loop changed. \
+         If intentional, re-bless with AA_BLESS=1 and justify the repository \
+         re-chunking cost."
+    );
+}
+
+#[test]
+fn fastcdc_small_region_cuts_are_rarer_than_large_region_cuts() {
+    // Structural sanity on the same golden buffer: with two-tier masks,
+    // cuts before the target size must exist but be the minority —
+    // normalization pushes most cuts past avg_size.
+    let data = golden_buffer();
+    let chunker = ContentChunker::new(DEFAULT_CDC.with_algorithm(CdcAlgorithm::FastCdc));
+    let cuts = chunker.boundaries(&data);
+    let mut prev = 0usize;
+    let (mut small, mut large) = (0usize, 0usize);
+    for &cut in &cuts[..cuts.len() - 1] {
+        let len = cut - prev;
+        if len < chunker.params().avg_size {
+            small += 1;
+        } else {
+            large += 1;
+        }
+        prev = cut;
+    }
+    assert!(large > small, "normalization inverted: {small} small vs {large} large");
+}

@@ -1,29 +1,72 @@
 //! Property-based tests for the chunking substrate.
+//!
+//! The CDC invariants run over *both* boundary algorithms (Rabin and
+//! gear-hash FastCDC): spans contiguous/non-empty/exactly covering,
+//! interior chunks within `[min, max]`, cut-point determinism across
+//! repeated calls, and — via `stream_reslicing_is_invisible` — across
+//! arbitrary buffer re-slicing at `StreamChunker` refill boundaries.
 
 use proptest::prelude::*;
 
 use aadedupe_chunking::{
-    spans_cover, CdcChunker, CdcParams, Chunker, ChunkingMethod, ScChunker, WfcChunker,
+    spans_cover, CdcAlgorithm, CdcChunker, CdcParams, Chunker, ChunkingMethod, ContentChunker,
+    ScChunker, StreamChunker, WfcChunker, DEFAULT_CDC,
 };
 
-/// Arbitrary CDC parameter sets (valid by construction).
+/// Arbitrary CDC parameter sets (valid by construction), covering both
+/// boundary algorithms and every normalization level.
 fn arb_cdc_params() -> impl Strategy<Value = CdcParams> {
-    (6u32..9, 1u32..3, 1u32..3, 8usize..49).prop_map(|(avg_pow, min_div, max_mul, window)| {
-        let avg = 1usize << (avg_pow + 4); // 1 KiB .. 4 KiB
-        CdcParams {
-            min_size: (avg >> min_div).max(window),
-            avg_size: avg,
-            max_size: avg << max_mul,
-            window,
+    (6u32..9, 1u32..3, 1u32..3, 8usize..49, 0usize..2, 0u32..3).prop_map(
+        |(avg_pow, min_div, max_mul, window, alg, norm_level)| {
+            let avg = 1usize << (avg_pow + 4); // 1 KiB .. 4 KiB
+            CdcParams {
+                min_size: (avg >> min_div).max(window),
+                avg_size: avg,
+                max_size: avg << max_mul,
+                window,
+                algorithm: CdcAlgorithm::ALL[alg],
+                norm_level,
+            }
+        },
+    )
+}
+
+/// A reader that hands out the underlying bytes in arbitrary-sized reads
+/// driven by a cycled pattern — exercises every buffer-seam alignment the
+/// streaming chunker can encounter.
+struct ChoppyReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    pattern: Vec<usize>,
+    next: usize,
+}
+
+impl std::io::Read for ChoppyReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos == self.data.len() {
+            return Ok(0);
         }
-    })
+        let step = self.pattern[self.next % self.pattern.len()].max(1);
+        self.next += 1;
+        let n = step.min(buf.len()).min(self.data.len() - self.pos);
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
 }
 
 proptest! {
     /// Every chunker tiles every input exactly.
     #[test]
     fn tiling(data in proptest::collection::vec(any::<u8>(), 0..60_000)) {
-        for c in [&WfcChunker::new() as &dyn Chunker, &ScChunker::new(4096), &CdcChunker::default()] {
+        let content_rabin = ContentChunker::new(DEFAULT_CDC);
+        let content_fast = ContentChunker::new(DEFAULT_CDC.with_algorithm(CdcAlgorithm::FastCdc));
+        for c in [
+            &WfcChunker::new() as &dyn Chunker,
+            &ScChunker::new(4096),
+            &content_rabin,
+            &content_fast,
+        ] {
             let spans = c.chunk(&data);
             prop_assert!(spans_cover(&data, &spans), "{}", c.method());
             for s in &spans {
@@ -47,34 +90,58 @@ proptest! {
         }
     }
 
-    /// CDC respects bounds for arbitrary parameter sets and inputs, and is
-    /// deterministic.
+    /// Both CDC algorithms respect bounds for arbitrary parameter sets and
+    /// inputs, and are deterministic across repeated calls.
     #[test]
     fn cdc_bounds_and_determinism(
         params in arb_cdc_params(),
         data in proptest::collection::vec(any::<u8>(), 0..80_000),
     ) {
-        let c = CdcChunker::new(params);
+        let c = ContentChunker::new(params);
         let spans = c.chunk(&data);
         prop_assert!(spans_cover(&data, &spans));
         for (i, s) in spans.iter().enumerate() {
-            prop_assert!(s.len <= params.max_size, "span {} length {}", i, s.len);
+            prop_assert!(s.len <= params.max_size, "{} span {} length {}", params.algorithm, i, s.len);
             if i + 1 < spans.len() {
-                prop_assert!(s.len >= params.min_size, "span {} length {}", i, s.len);
+                prop_assert!(s.len >= params.min_size, "{} span {} length {}", params.algorithm, i, s.len);
             }
         }
         prop_assert_eq!(c.chunk(&data), spans);
     }
 
+    /// Cut points are invariant under how the stream buffer happens to be
+    /// re-sliced: chunking via `StreamChunker` with adversarial read sizes
+    /// must produce exactly the batch spans, for both algorithms.
+    #[test]
+    fn stream_reslicing_is_invisible(
+        params in arb_cdc_params(),
+        data in proptest::collection::vec(any::<u8>(), 0..60_000),
+        pattern in proptest::collection::vec(1usize..30_000, 1..8),
+    ) {
+        let c = ContentChunker::new(params);
+        let batch: Vec<usize> = c.chunk(&data).iter().map(|s| s.len).collect();
+        let reader = ChoppyReader { data: &data, pos: 0, pattern, next: 0 };
+        let mut reassembled = Vec::new();
+        let mut lens = Vec::new();
+        for chunk in StreamChunker::content(reader, ContentChunker::new(params)) {
+            prop_assert_eq!(chunk.offset as usize, reassembled.len());
+            reassembled.extend_from_slice(&chunk.data);
+            lens.push(chunk.data.len());
+        }
+        prop_assert_eq!(reassembled, data);
+        prop_assert_eq!(lens, batch, "{}", params.algorithm);
+    }
+
     /// Content-defined boundaries are *local*: bytes far after an edit do
-    /// not change earlier boundaries.
+    /// not change earlier boundaries — for either algorithm.
     #[test]
     fn cdc_boundaries_are_prefix_stable(
+        alg in 0usize..2,
         prefix in proptest::collection::vec(any::<u8>(), 20_000..40_000),
         suffix_a in proptest::collection::vec(any::<u8>(), 1000..4000),
         suffix_b in proptest::collection::vec(any::<u8>(), 1000..4000),
     ) {
-        let c = CdcChunker::default();
+        let c = ContentChunker::new(DEFAULT_CDC.with_algorithm(CdcAlgorithm::ALL[alg]));
         let mut a = prefix.clone();
         a.extend_from_slice(&suffix_a);
         let mut b = prefix.clone();
@@ -90,12 +157,14 @@ proptest! {
     }
 
     /// A prefix insertion preserves most CDC chunk *contents* (the
-    /// boundary-shift resistance SC lacks). Requires content with entropy:
-    /// constant/low-entropy data has no content anchors, so CDC lawfully
-    /// degrades to position-dependent max-size cuts there — we generate
-    /// from a seeded xorshift stream rather than raw arbitrary vectors.
+    /// boundary-shift resistance SC lacks), under both algorithms.
+    /// Requires content with entropy: constant/low-entropy data has no
+    /// content anchors, so CDC lawfully degrades to position-dependent
+    /// max-size cuts there — we generate from a seeded xorshift stream
+    /// rather than raw arbitrary vectors.
     #[test]
     fn cdc_survives_prefix_insertion(
+        alg in 0usize..2,
         seed in any::<u64>(),
         len in 250_000usize..400_000,
         inserted in any::<u8>(),
@@ -108,7 +177,7 @@ proptest! {
         let data: Vec<u8> = (0..len)
             .map(|_| { x ^= x << 13; x ^= x >> 7; x ^= x << 17; (x >> 32) as u8 })
             .collect();
-        let c = CdcChunker::default();
+        let c = ContentChunker::new(DEFAULT_CDC.with_algorithm(CdcAlgorithm::ALL[alg]));
         let mut edited = Vec::with_capacity(data.len() + 1);
         edited.push(inserted);
         edited.extend_from_slice(&data);
@@ -120,7 +189,8 @@ proptest! {
         let b = digest(&edited);
         let shared = a.intersection(&b).count();
         // At least half the chunks must survive (usually ~all but one).
-        prop_assert!(shared * 2 >= a.len(), "only {}/{} chunks survived", shared, a.len());
+        prop_assert!(shared * 2 >= a.len(), "{}: only {}/{} chunks survived",
+            c.params().algorithm, shared, a.len());
     }
 
     /// Method tags round-trip for all three methods.
@@ -129,5 +199,22 @@ proptest! {
         for m in [ChunkingMethod::Wfc, ChunkingMethod::Sc, ChunkingMethod::Cdc] {
             prop_assert_eq!(ChunkingMethod::from_tag(m.tag()), Some(m));
         }
+    }
+
+    /// The two algorithms agree on the *contract*, not the cut positions:
+    /// on sizable high-entropy input their boundary sets differ (they are
+    /// different hash families), while both still tile the input.
+    #[test]
+    fn algorithms_are_distinct_hash_families(seed in any::<u64>()) {
+        let mut x = seed | 1;
+        let data: Vec<u8> = (0..200_000)
+            .map(|_| { x ^= x << 13; x ^= x >> 7; x ^= x << 17; (x >> 32) as u8 })
+            .collect();
+        let rabin = CdcChunker::default().boundaries(&data);
+        let fast = ContentChunker::new(DEFAULT_CDC.with_algorithm(CdcAlgorithm::FastCdc))
+            .boundaries(&data);
+        prop_assert_eq!(rabin.last().copied(), Some(data.len()));
+        prop_assert_eq!(fast.last().copied(), Some(data.len()));
+        prop_assert_ne!(rabin, fast);
     }
 }

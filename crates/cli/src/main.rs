@@ -22,6 +22,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
 
+use aadedupe_chunking::CdcAlgorithm;
 use aadedupe_cloud::{CloudSim, FsObjectStore, PriceModel, WanModel};
 use aadedupe_core::{
     AaDedupe, AaDedupeConfig, BackupScheme, PipelineConfig, RestoreOptions, RetryPolicy,
@@ -32,7 +33,7 @@ use source::walk_directory;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  aabackup backup  --repo <dir> [--workers N] [--stats] [--stats-json <file>] [--trace <file>] <source-dir>\n  aabackup restore --repo <dir> [--workers N] [--stats] <session> <out-dir>\n  aabackup restore-file --repo <dir> [--workers N] <session> <path> <out-file>\n  aabackup sessions --repo <dir>\n  aabackup delete  --repo <dir> <session>\n  aabackup stats   --repo <dir>"
+        "usage:\n  aabackup backup  --repo <dir> [--workers N] [--chunker rabin|fastcdc] [--stats] [--stats-json <file>] [--trace <file>] <source-dir>\n  aabackup restore --repo <dir> [--workers N] [--stats] <session> <out-dir>\n  aabackup restore-file --repo <dir> [--workers N] <session> <path> <out-file>\n  aabackup sessions --repo <dir>\n  aabackup delete  --repo <dir> <session>\n  aabackup stats   --repo <dir>"
     );
     ExitCode::from(2)
 }
@@ -62,6 +63,23 @@ fn take_workers(args: &mut Vec<String>) -> Result<Option<usize>, ()> {
     match value.parse::<usize>() {
         Ok(n) if n >= 1 => Ok(Some(n)),
         _ => Err(()),
+    }
+}
+
+/// Splits `--chunker <rabin|fastcdc>` out of the argument list. `Err`
+/// means the flag was present but its value was missing or unknown.
+fn take_chunker(args: &mut Vec<String>) -> Result<Option<CdcAlgorithm>, ()> {
+    let Some(i) = args.iter().position(|a| a == "--chunker") else {
+        return Ok(None);
+    };
+    if i + 1 >= args.len() {
+        return Err(());
+    }
+    let value = args.remove(i + 1);
+    args.remove(i);
+    match CdcAlgorithm::parse(&value) {
+        Some(alg) => Ok(Some(alg)),
+        None => Err(()),
     }
 }
 
@@ -106,6 +124,7 @@ impl ObsArgs {
 fn open_engine(
     repo: &Path,
     workers: usize,
+    chunker: CdcAlgorithm,
     recorder: Option<Arc<Recorder>>,
 ) -> Result<AaDedupe, String> {
     let store =
@@ -119,6 +138,7 @@ fn open_engine(
     );
     let mut config = AaDedupeConfig {
         pipeline: PipelineConfig::with_workers(workers),
+        cdc: aadedupe_chunking::DEFAULT_CDC.with_algorithm(chunker),
         restore: RestoreOptions { workers, ..RestoreOptions::default() },
         // Against a real disk, backoff should really wait, not just be
         // charged to the simulated clock.
@@ -131,7 +151,13 @@ fn open_engine(
     AaDedupe::open(cloud, config).map_err(|e| format!("cannot resume repository state: {e}"))
 }
 
-fn cmd_backup(repo: &Path, src: &Path, workers: usize, obs: &ObsArgs) -> Result<(), String> {
+fn cmd_backup(
+    repo: &Path,
+    src: &Path,
+    workers: usize,
+    chunker: CdcAlgorithm,
+    obs: &ObsArgs,
+) -> Result<(), String> {
     let rec = if obs.any() {
         let rec = Recorder::shared();
         if obs.trace.is_some() {
@@ -141,7 +167,7 @@ fn cmd_backup(repo: &Path, src: &Path, workers: usize, obs: &ObsArgs) -> Result<
     } else {
         None
     };
-    let mut engine = open_engine(repo, workers, rec.clone())?;
+    let mut engine = open_engine(repo, workers, chunker, rec.clone())?;
     if engine.orphans_swept() > 0 {
         println!(
             "swept {} orphaned container(s) left by an interrupted backup",
@@ -203,7 +229,7 @@ fn cmd_restore(
     obs: &ObsArgs,
 ) -> Result<(), String> {
     let rec = obs.any().then(Recorder::shared);
-    let engine = open_engine(repo, workers, rec.clone())?;
+    let engine = open_engine(repo, workers, CdcAlgorithm::Rabin, rec.clone())?;
     let files = engine
         .restore_session(session)
         .map_err(|e| format!("restore failed: {e}"))?;
@@ -236,7 +262,7 @@ fn cmd_restore_file(
     out: &Path,
     workers: usize,
 ) -> Result<(), String> {
-    let engine = open_engine(repo, workers, None)?;
+    let engine = open_engine(repo, workers, CdcAlgorithm::Rabin, None)?;
     let file = engine
         .restore_file(session, path)
         .map_err(|e| format!("restore failed: {e}"))?;
@@ -251,7 +277,7 @@ fn cmd_restore_file(
 }
 
 fn cmd_sessions(repo: &Path) -> Result<(), String> {
-    let engine = open_engine(repo, 1, None)?;
+    let engine = open_engine(repo, 1, CdcAlgorithm::Rabin, None)?;
     let sessions = engine.list_sessions();
     if sessions.is_empty() {
         println!("no sessions");
@@ -270,14 +296,14 @@ fn cmd_sessions(repo: &Path) -> Result<(), String> {
 }
 
 fn cmd_delete(repo: &Path, session: usize) -> Result<(), String> {
-    let mut engine = open_engine(repo, 1, None)?;
+    let mut engine = open_engine(repo, 1, CdcAlgorithm::Rabin, None)?;
     engine.delete_session(session).map_err(|e| format!("delete failed: {e}"))?;
     println!("deleted session {session}; unreferenced containers reclaimed");
     Ok(())
 }
 
 fn cmd_stats(repo: &Path) -> Result<(), String> {
-    let engine = open_engine(repo, 1, None)?;
+    let engine = open_engine(repo, 1, CdcAlgorithm::Rabin, None)?;
     let store = engine.cloud().store();
     println!("repository: {} objects, {}", store.object_count(), human(store.stored_bytes()));
     println!(
@@ -319,13 +345,15 @@ fn main() -> ExitCode {
     let Some(repo) = take_repo(&mut args) else { return usage() };
     let Ok(workers) = take_workers(&mut args) else { return usage() };
     let workers = workers.unwrap_or(1);
+    let Ok(chunker) = take_chunker(&mut args) else { return usage() };
+    let chunker = chunker.unwrap_or(CdcAlgorithm::Rabin);
     let stats = take_flag(&mut args, "--stats");
     let Ok(stats_json) = take_path(&mut args, "--stats-json") else { return usage() };
     let Ok(trace) = take_path(&mut args, "--trace") else { return usage() };
     let obs = ObsArgs { stats, stats_json, trace };
 
     let result = match (command.as_str(), args.as_slice()) {
-        ("backup", [src]) => cmd_backup(&repo, Path::new(src), workers, &obs),
+        ("backup", [src]) => cmd_backup(&repo, Path::new(src), workers, chunker, &obs),
         ("restore", [session, out]) => match session.parse() {
             Ok(s) => cmd_restore(&repo, s, Path::new(out), workers, &obs),
             Err(_) => return usage(),

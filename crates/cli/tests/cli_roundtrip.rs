@@ -150,12 +150,47 @@ fn incremental_change_stores_only_delta() {
 }
 
 #[test]
+fn fastcdc_chunker_backup_restores_bit_exactly() {
+    let dirs = Dirs::new("fastcdc");
+    let repo = dirs.repo();
+    let repo_s = repo.to_str().unwrap();
+    let src = dirs.src();
+
+    // A dynamic (CDC-routed) file with entropy, plus a tiny file.
+    let body: Vec<u8> =
+        (0..300_000u32).map(|i| (i.wrapping_mul(2_654_435_761) >> 13) as u8).collect();
+    fs::write(src.join("essay.doc"), &body).unwrap();
+    fs::write(src.join("note.txt"), b"tiny note").unwrap();
+
+    let (ok, out) =
+        run(&["backup", "--repo", repo_s, "--chunker", "fastcdc", src.to_str().unwrap()]);
+    assert!(ok, "{out}");
+    assert!(out.contains("session 0"), "{out}");
+
+    // Identical second session dedupes everything but the tiny file.
+    let (ok, out) =
+        run(&["backup", "--repo", repo_s, "--chunker", "fastcdc", src.to_str().unwrap()]);
+    assert!(ok, "{out}");
+    assert!(out.contains("new data 9 B"), "{out}");
+
+    // Restores are bit-exact.
+    let out_dir = dirs.out();
+    let (ok, text) = run(&["restore", "--repo", repo_s, "0", out_dir.to_str().unwrap()]);
+    assert!(ok, "{text}");
+    assert_eq!(fs::read(out_dir.join("essay.doc")).unwrap(), body);
+    assert_eq!(fs::read(out_dir.join("note.txt")).unwrap(), b"tiny note");
+}
+
+#[test]
 fn bad_usage_exits_nonzero() {
     let (ok, _) = run(&["frobnicate"]);
     assert!(!ok);
     let (ok, _) = run(&["backup"]);
     assert!(!ok);
     let (ok, _) = run(&["restore", "--repo", "/nonexistent-hopefully", "notanumber", "/tmp"]);
+    assert!(!ok);
+    // Unknown chunker name is a usage error.
+    let (ok, _) = run(&["backup", "--repo", "/tmp", "--chunker", "simd9000", "/tmp"]);
     assert!(!ok);
 }
 

@@ -121,8 +121,17 @@ pub struct AaDedupeConfig {
     pub container_size: usize,
     /// Static chunk size (paper: 8 KiB).
     pub sc_chunk_size: usize,
-    /// CDC parameters (paper: 2/8/16 KiB, 48-byte window).
+    /// CDC parameters (paper: 2/8/16 KiB, 48-byte window). The
+    /// [`CdcParams::algorithm`] field selects the boundary algorithm for
+    /// every CDC-routed application (Rabin, the paper's scan and the
+    /// fidelity oracle, or gear-hash FastCDC).
     pub cdc: CdcParams,
+    /// Per-application CDC overrides, consulted before [`Self::cdc`]: the
+    /// first entry matching a file's [`AppType`] wins. Lets one partition
+    /// run FastCDC (or different size targets) while the rest keep the
+    /// default — each index partition is self-consistent because a given
+    /// app always chunks with the same parameters.
+    pub cdc_by_app: Vec<(AppType, CdcParams)>,
     /// Chunking/hash policy per category (paper: Fig. 6).
     pub policy: DedupPolicy,
     /// Modelled RAM cache entries per index partition.
@@ -153,6 +162,7 @@ impl Default for AaDedupeConfig {
             container_size: DEFAULT_CONTAINER_SIZE,
             sc_chunk_size: 8 * 1024,
             cdc: DEFAULT_CDC,
+            cdc_by_app: Vec::new(),
             policy: DedupPolicy::aa_dedupe(),
             ram_entries_per_partition: 1 << 18,
             index_sync_interval: 1,
@@ -162,6 +172,19 @@ impl Default for AaDedupeConfig {
             scheme_key: "aa-dedupe".into(),
             recorder: Recorder::shared_disabled(),
         }
+    }
+}
+
+impl AaDedupeConfig {
+    /// The effective CDC parameters for `app`: the first matching
+    /// [`Self::cdc_by_app`] override, else [`Self::cdc`]. Both the serial
+    /// and parallel chunking paths resolve parameters through this single
+    /// point, so the pipelines stay bit-identical by construction.
+    pub fn cdc_for(&self, app: AppType) -> CdcParams {
+        self.cdc_by_app
+            .iter()
+            .find(|(a, _)| *a == app)
+            .map_or(self.cdc, |(_, p)| *p)
     }
 }
 
@@ -608,7 +631,7 @@ impl AaDedupe {
                 rec.record(Stage::Classify, classify);
                 let data = file.read();
                 let chunked =
-                    chunk_and_hash(&cfg.policy, cfg.sc_chunk_size, cfg.cdc, app, &data, rec);
+                    chunk_and_hash(&cfg.policy, cfg.sc_chunk_size, cfg.cdc_for(app), app, &data, rec);
                 dedupe_chunks(index, file.path(), app, chunked, &mut |fp, bytes| {
                     containers.add_chunk(app.tag() as u32, fp, &bytes)
                 })
@@ -780,8 +803,14 @@ impl AaDedupe {
                         let app = file.app_type();
                         rec.record(Stage::Classify, classify);
                         let data = file.read();
-                        let cf =
-                            chunk_and_hash(&cfg.policy, cfg.sc_chunk_size, cfg.cdc, app, &data, rec);
+                        let cf = chunk_and_hash(
+                            &cfg.policy,
+                            cfg.sc_chunk_size,
+                            cfg.cdc_for(app),
+                            app,
+                            &data,
+                            rec,
+                        );
                         rec.trace_complete("chunk_hash", span);
                         if let Some(t) = working {
                             busy += t.elapsed();
@@ -1147,6 +1176,73 @@ mod tests {
 
     fn engine() -> AaDedupe {
         AaDedupe::new(CloudSim::with_paper_defaults())
+    }
+
+    #[test]
+    fn cdc_for_prefers_the_first_matching_override() {
+        use aadedupe_chunking::CdcAlgorithm;
+        let fast = DEFAULT_CDC.with_algorithm(CdcAlgorithm::FastCdc);
+        let cfg = AaDedupeConfig {
+            cdc_by_app: vec![(AppType::Doc, fast), (AppType::Doc, DEFAULT_CDC)],
+            ..AaDedupeConfig::default()
+        };
+        assert_eq!(cfg.cdc_for(AppType::Doc).algorithm, CdcAlgorithm::FastCdc);
+        assert_eq!(cfg.cdc_for(AppType::Txt).algorithm, CdcAlgorithm::Rabin);
+        assert_eq!(cfg.cdc_for(AppType::Txt), cfg.cdc);
+    }
+
+    #[test]
+    fn fastcdc_engine_round_trips_and_differs_from_rabin() {
+        use aadedupe_chunking::CdcAlgorithm;
+        let files = vec![
+            mem("user/doc/a.doc", b"document text, edited weekly ".repeat(9000)),
+            mem("user/txt/b.txt", (0..180_000u32).map(|i| (i.wrapping_mul(2_654_435_761) >> 24) as u8).collect()),
+        ];
+        let mut rabin = engine();
+        let cfg = AaDedupeConfig {
+            cdc: DEFAULT_CDC.with_algorithm(CdcAlgorithm::FastCdc),
+            ..AaDedupeConfig::default()
+        };
+        let mut fast = AaDedupe::with_config(CloudSim::with_paper_defaults(), cfg);
+        let rr = rabin.backup_session(&sources(&files)).unwrap();
+        let rf = fast.backup_session(&sources(&files)).unwrap();
+        // Different hash families cut at different positions...
+        assert_ne!(rr.chunks_total, rf.chunks_total);
+        // ...but restores are bit-exact either way.
+        assert_eq!(rabin.restore_session(0).unwrap(), fast.restore_session(0).unwrap());
+    }
+
+    #[test]
+    fn per_app_override_only_reshapes_that_partition() {
+        use aadedupe_chunking::CdcAlgorithm;
+        // High-entropy doc content: content-defined (not forced) cuts, so
+        // the two algorithms produce clearly different chunk counts
+        // (Rabin mean ≈ 7.5 KiB, normalized FastCDC mean ≈ 9.5 KiB).
+        let mut x = 0x00D0_C5EEDu64;
+        let doc: Vec<u8> = (0..600_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x >> 32) as u8
+            })
+            .collect();
+        let files = vec![
+            mem("user/doc/a.doc", doc),
+            mem("user/txt/b.txt", (0..180_000u32).map(|i| (i.wrapping_mul(2_654_435_761) >> 24) as u8).collect()),
+        ];
+        let mut plain = engine();
+        let cfg = AaDedupeConfig {
+            cdc_by_app: vec![(AppType::Doc, DEFAULT_CDC.with_algorithm(CdcAlgorithm::FastCdc))],
+            ..AaDedupeConfig::default()
+        };
+        let mut mixed = AaDedupe::with_config(CloudSim::with_paper_defaults(), cfg);
+        let rp = plain.backup_session(&sources(&files)).unwrap();
+        let rm = mixed.backup_session(&sources(&files)).unwrap();
+        // The override re-cuts only the Doc partition; totals shift but the
+        // restored bytes cannot.
+        assert_ne!(rp.chunks_total, rm.chunks_total);
+        assert_eq!(plain.restore_session(0).unwrap(), mixed.restore_session(0).unwrap());
     }
 
     #[test]

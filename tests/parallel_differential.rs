@@ -11,10 +11,15 @@
 //! up here as a hard failure.
 //!
 //! Set `AA_DIFF_WORKERS=1,4` (comma-separated) to restrict the worker
-//! matrix — used by CI to split the sweep across jobs.
+//! matrix and `AA_DIFF_CHUNKER=rabin` (or `fastcdc`, comma-separated) to
+//! restrict the CDC boundary-algorithm dimension — used by CI to split
+//! the sweep across jobs. The contract is algorithm-independent: for
+//! every algorithm, parallel output must equal that algorithm's serial
+//! output.
 
 use std::collections::{BTreeMap, HashMap};
 
+use aa_dedupe::chunking::CdcAlgorithm;
 use aa_dedupe::cloud::CloudSim;
 use aa_dedupe::core::{AaDedupe, AaDedupeConfig, BackupScheme, PipelineConfig, PipelineMode};
 use aa_dedupe::filetype::{MemoryFile, SourceFile};
@@ -32,6 +37,18 @@ fn worker_matrix() -> Vec<usize> {
             .map(|w| w.trim().parse().expect("AA_DIFF_WORKERS entries must be integers"))
             .collect(),
         Err(_) => vec![1, 2, 4, 8],
+    }
+}
+
+fn chunker_matrix() -> Vec<CdcAlgorithm> {
+    match std::env::var("AA_DIFF_CHUNKER") {
+        Ok(s) => s
+            .split(',')
+            .map(|a| {
+                CdcAlgorithm::parse(a.trim()).expect("AA_DIFF_CHUNKER entries: rabin|fastcdc")
+            })
+            .collect(),
+        Err(_) => CdcAlgorithm::ALL.to_vec(),
     }
 }
 
@@ -81,20 +98,24 @@ fn run_sessions(config: AaDedupeConfig, sessions: &[Vec<&dyn SourceFile>]) -> Ob
     observe(&engine, reports, sessions.len())
 }
 
-fn serial_config() -> AaDedupeConfig {
-    AaDedupeConfig {
+fn serial_config(algorithm: CdcAlgorithm) -> AaDedupeConfig {
+    let mut config = AaDedupeConfig {
         pipeline: PipelineConfig { workers: 1, queue_depth: 4, mode: PipelineMode::Serial },
         ..AaDedupeConfig::default()
-    }
+    };
+    config.cdc.algorithm = algorithm;
+    config
 }
 
-fn parallel_config(workers: usize) -> AaDedupeConfig {
-    AaDedupeConfig {
+fn parallel_config(workers: usize, algorithm: CdcAlgorithm) -> AaDedupeConfig {
+    let mut config = AaDedupeConfig {
         // Force the pipeline even at workers = 1 so the machinery itself
         // is differentially tested, not just the Auto-mode dispatch.
         pipeline: PipelineConfig { workers, queue_depth: 4, mode: PipelineMode::Parallel },
         ..AaDedupeConfig::default()
-    }
+    };
+    config.cdc.algorithm = algorithm;
+    config
 }
 
 /// Asserts every deterministic observable matches between two runs.
@@ -143,16 +164,22 @@ fn assert_equivalent(serial: &Observation, parallel: &Observation, label: &str) 
 }
 
 #[test]
-fn parallel_matches_serial_across_seeds_and_workers() {
-    for seed in SEEDS {
-        let mut generator = Generator::new(DatasetSpec::tiny_test(), seed);
-        let snaps: Vec<Snapshot> = (0..SESSIONS).map(|w| generator.snapshot(w)).collect();
-        let sessions: Vec<Vec<&dyn SourceFile>> =
-            snaps.iter().map(|s| s.as_sources()).collect();
-        let serial = run_sessions(serial_config(), &sessions);
-        for workers in worker_matrix() {
-            let parallel = run_sessions(parallel_config(workers), &sessions);
-            assert_equivalent(&serial, &parallel, &format!("seed={seed} workers={workers}"));
+fn parallel_matches_serial_across_seeds_workers_and_chunkers() {
+    for algorithm in chunker_matrix() {
+        for seed in SEEDS {
+            let mut generator = Generator::new(DatasetSpec::tiny_test(), seed);
+            let snaps: Vec<Snapshot> = (0..SESSIONS).map(|w| generator.snapshot(w)).collect();
+            let sessions: Vec<Vec<&dyn SourceFile>> =
+                snaps.iter().map(|s| s.as_sources()).collect();
+            let serial = run_sessions(serial_config(algorithm), &sessions);
+            for workers in worker_matrix() {
+                let parallel = run_sessions(parallel_config(workers, algorithm), &sessions);
+                assert_equivalent(
+                    &serial,
+                    &parallel,
+                    &format!("chunker={algorithm} seed={seed} workers={workers}"),
+                );
+            }
         }
     }
 }
@@ -178,10 +205,16 @@ fn parallel_matches_serial_on_tiny_file_heavy_set() {
     // Two identical sessions: the second exercises the change-token
     // carry-forward for tiny files and full-duplicate paths for big ones.
     let sessions = vec![sources.clone(), sources];
-    let serial = run_sessions(serial_config(), &sessions);
-    for workers in worker_matrix() {
-        let parallel = run_sessions(parallel_config(workers), &sessions);
-        assert_equivalent(&serial, &parallel, &format!("tiny-set workers={workers}"));
+    for algorithm in chunker_matrix() {
+        let serial = run_sessions(serial_config(algorithm), &sessions);
+        for workers in worker_matrix() {
+            let parallel = run_sessions(parallel_config(workers, algorithm), &sessions);
+            assert_equivalent(
+                &serial,
+                &parallel,
+                &format!("tiny-set chunker={algorithm} workers={workers}"),
+            );
+        }
     }
 }
 
@@ -191,21 +224,25 @@ fn restores_are_bit_exact_against_source_data() {
     // ground truth so an identical-but-wrong pair cannot slip through.
     let mut generator = Generator::new(DatasetSpec::tiny_test(), SEEDS[0]);
     let snap = generator.snapshot(0);
-    for workers in worker_matrix() {
-        let mut engine =
-            AaDedupe::with_config(CloudSim::with_paper_defaults(), parallel_config(workers));
-        engine.backup_session(&snap.as_sources()).expect("backup");
-        let restored = engine.restore_session(0).expect("restore");
-        let by_path: HashMap<&str, &[u8]> =
-            restored.iter().map(|f| (f.path.as_str(), f.data.as_slice())).collect();
-        assert_eq!(restored.len(), snap.file_count(), "workers={workers}");
-        for f in &snap.files {
-            assert_eq!(
-                by_path[f.path.as_str()],
-                f.materialize().as_slice(),
-                "workers={workers}: {}",
-                f.path
+    for algorithm in chunker_matrix() {
+        for workers in worker_matrix() {
+            let mut engine = AaDedupe::with_config(
+                CloudSim::with_paper_defaults(),
+                parallel_config(workers, algorithm),
             );
+            engine.backup_session(&snap.as_sources()).expect("backup");
+            let restored = engine.restore_session(0).expect("restore");
+            let by_path: HashMap<&str, &[u8]> =
+                restored.iter().map(|f| (f.path.as_str(), f.data.as_slice())).collect();
+            assert_eq!(restored.len(), snap.file_count(), "chunker={algorithm} workers={workers}");
+            for f in &snap.files {
+                assert_eq!(
+                    by_path[f.path.as_str()],
+                    f.materialize().as_slice(),
+                    "chunker={algorithm} workers={workers}: {}",
+                    f.path
+                );
+            }
         }
     }
 }
