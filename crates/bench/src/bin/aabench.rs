@@ -1,0 +1,390 @@
+//! `aabench` — the unified perf-trajectory harness.
+//!
+//! One runner that orchestrates the scaling benches (backup pipeline,
+//! pipelined restore, CDC chunking) plus an end-to-end two-session
+//! backup+restore bench over the workload generator, and emits one
+//! schema-versioned `BENCH_<label>.json` artifact. A `compare` subcommand
+//! gates regressions:
+//!
+//! ```text
+//! aabench run [--quick] [--label <l>] [--out <file>]
+//! aabench compare <old.json> <new.json> [--tolerance <pct>]
+//! ```
+//!
+//! `run` defaults: label `local`, output `BENCH_<label>.json` in the
+//! current directory. `--quick` shrinks the workload and worker sweep for
+//! CI. `compare` exits non-zero when any metric in the new artifact falls
+//! more than `--tolerance` percent (default 10) below the old one; every
+//! number under a bench's `"metrics"` object is higher-is-better by
+//! construction, while `"detail"` objects (stage breakdowns) are
+//! informational and never gated.
+//!
+//! Environment knobs (override `--quick`/full defaults):
+//! * `AA_BENCH_MB` — workload MiB per bench.
+//! * `AA_BENCH_REPS` — timed repetitions; fastest rep is reported.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+use aadedupe_bench::perf::{env_or, machine_json, mixed_corpus, BENCH_SCHEMA_VERSION};
+use aadedupe_chunking::{CdcAlgorithm, Chunker, ContentChunker, DEFAULT_CDC};
+use aadedupe_cloud::CloudSim;
+use aadedupe_core::{
+    restore_session_pipelined, AaDedupe, AaDedupeConfig, BackupScheme, PipelineConfig,
+    PipelineMode, RestoreOptions, RetryPolicy,
+};
+use aadedupe_filetype::SourceFile;
+use aadedupe_obs::json::{self, Value};
+use aadedupe_obs::{Queue, Recorder, Stage};
+use aadedupe_workload::{DatasetSpec, Generator};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  aabench run [--quick] [--label <l>] [--out <file>]\n  aabench compare <old.json> <new.json> [--tolerance <pct>]"
+    );
+    ExitCode::from(2)
+}
+
+/// Sweep parameters for one `run` invocation.
+struct RunConfig {
+    quick: bool,
+    mb: usize,
+    reps: usize,
+    workers: Vec<usize>,
+}
+
+impl RunConfig {
+    fn new(quick: bool) -> RunConfig {
+        let (mb, reps, workers) = if quick { (16, 1, vec![1, 4]) } else { (64, 3, vec![1, 2, 4, 8]) };
+        RunConfig { quick, mb: env_or("AA_BENCH_MB", mb), reps: env_or("AA_BENCH_REPS", reps), workers }
+    }
+}
+
+fn best_of(reps: usize, mut f: impl FnMut() -> f64) -> f64 {
+    (0..reps.max(1)).map(|_| f()).fold(f64::INFINITY, f64::min)
+}
+
+fn mib_per_s(bytes: usize, seconds: f64) -> f64 {
+    bytes as f64 / (1 << 20) as f64 / seconds
+}
+
+/// Backup pipeline bench: throughput at 1 worker, speedup at the sweep
+/// maximum, session dedup ratio, plus a profiled stage breakdown.
+fn bench_backup(cfg: &RunConfig) -> String {
+    let files = mixed_corpus(cfg.mb, 0x5CA1E, "scale");
+    let logical: usize = files.iter().map(|f| f.data.len()).sum();
+    let time_one = |workers: usize| {
+        let pipeline = if workers == 1 {
+            PipelineConfig { workers: 1, queue_depth: 4, mode: PipelineMode::Serial }
+        } else {
+            PipelineConfig { workers, queue_depth: 4, mode: PipelineMode::Parallel }
+        };
+        let config = AaDedupeConfig { pipeline, ..AaDedupeConfig::default() };
+        let mut engine = AaDedupe::with_config(CloudSim::with_paper_defaults(), config);
+        let sources: Vec<&dyn SourceFile> = files.iter().map(|f| f as &dyn SourceFile).collect();
+        let start = Instant::now();
+        let report = engine.backup_session(&sources).expect("backup");
+        (start.elapsed().as_secs_f64(), report.dr())
+    };
+    let serial = best_of(cfg.reps, || time_one(1).0);
+    let max_w = *cfg.workers.iter().max().expect("non-empty sweep");
+    let parallel = best_of(cfg.reps, || time_one(max_w).0);
+    let (_, dr) = time_one(1);
+
+    // One profiled run (recorder on) for the stage breakdown, kept out of
+    // the timed reps.
+    let recorder = Recorder::shared();
+    let config = AaDedupeConfig {
+        pipeline: PipelineConfig::with_workers(max_w),
+        recorder: Arc::clone(&recorder),
+        ..AaDedupeConfig::default()
+    };
+    let mut engine = AaDedupe::with_config(CloudSim::with_paper_defaults(), config);
+    let sources: Vec<&dyn SourceFile> = files.iter().map(|f| f as &dyn SourceFile).collect();
+    engine.backup_session(&sources).expect("backup");
+    let snap = recorder.snapshot();
+    let stages = Stage::ALL
+        .iter()
+        .map(|&s| format!("\"{}\": {}", s.name(), snap.stage_total(s).as_nanos()))
+        .collect::<Vec<_>>()
+        .join(", ");
+
+    eprintln!("  backup: {:.2} MiB/s serial, speedup {:.2} at {max_w}w", mib_per_s(logical, serial), serial / parallel);
+    format!(
+        "{{\"metrics\": {{\"serial_mib_s\": {:.2}, \"parallel_mib_s\": {:.2}, \"speedup\": {:.3}, \"dedup_ratio\": {:.4}}}, \"detail\": {{\"workers\": {max_w}, \"workload_mib\": {}, \"stage_ns\": {{{stages}}}}}}}",
+        mib_per_s(logical, serial),
+        mib_per_s(logical, parallel),
+        serial / parallel,
+        dr,
+        logical >> 20
+    )
+}
+
+/// Pipelined restore bench: throughput at 1 worker, speedup at the sweep
+/// maximum, restore-cache high-water from a profiled run.
+fn bench_restore(cfg: &RunConfig) -> String {
+    let files = mixed_corpus(cfg.mb, 0xE5702E, "restore");
+    let logical: usize = files.iter().map(|f| f.data.len()).sum();
+    let cloud = CloudSim::with_paper_defaults();
+    let mut engine = AaDedupe::with_config(
+        cloud.clone(),
+        AaDedupeConfig { pipeline: PipelineConfig::with_workers(4), ..AaDedupeConfig::default() },
+    );
+    let sources: Vec<&dyn SourceFile> = files.iter().map(|f| f as &dyn SourceFile).collect();
+    engine.backup_session(&sources).expect("backup");
+
+    let restore_one = |workers: usize, rec: &Recorder| {
+        let opts = RestoreOptions { workers, cache_capacity: 16 };
+        let start = Instant::now();
+        let out =
+            restore_session_pipelined(&cloud, "aa-dedupe", 0, &opts, &RetryPolicy::default(), rec)
+                .expect("restore");
+        assert_eq!(out.len(), files.len(), "restore returned every file");
+        start.elapsed().as_secs_f64()
+    };
+    let disabled = Recorder::disabled();
+    let serial = best_of(cfg.reps, || restore_one(1, &disabled));
+    let max_w = *cfg.workers.iter().max().expect("non-empty sweep");
+    let parallel = best_of(cfg.reps, || restore_one(max_w, &disabled));
+    let recorder = Recorder::new();
+    restore_one(max_w, &recorder);
+    let cache_hwm = recorder.snapshot().queue(Queue::RestoreCache).hwm;
+
+    eprintln!("  restore: {:.2} MiB/s serial, speedup {:.2} at {max_w}w", mib_per_s(logical, serial), serial / parallel);
+    format!(
+        "{{\"metrics\": {{\"serial_mib_s\": {:.2}, \"parallel_mib_s\": {:.2}, \"speedup\": {:.3}}}, \"detail\": {{\"workers\": {max_w}, \"workload_mib\": {}, \"cache_hwm\": {cache_hwm}}}}}",
+        mib_per_s(logical, serial),
+        mib_per_s(logical, parallel),
+        serial / parallel,
+        logical >> 20
+    )
+}
+
+/// CDC boundary-scan bench: Rabin vs FastCDC throughput and the speedup
+/// the trajectory protects (PR 6's headline win).
+fn bench_chunking(cfg: &RunConfig) -> String {
+    let mut gen = Generator::new(DatasetSpec::eval_mix((cfg.mb as u64) << 20), 42);
+    let snap = gen.snapshot(0);
+    let files: Vec<Vec<u8>> = snap.as_sources().iter().map(|s| s.read()).collect();
+    let logical: usize = files.iter().map(Vec::len).sum();
+    let scan = |chunker: &dyn Chunker| {
+        best_of(cfg.reps, || {
+            let start = Instant::now();
+            let mut total = 0usize;
+            for f in &files {
+                total += chunker.chunk(std::hint::black_box(f)).len();
+            }
+            std::hint::black_box(total);
+            start.elapsed().as_secs_f64()
+        })
+    };
+    let rabin = scan(&ContentChunker::new(DEFAULT_CDC));
+    let fastcdc = scan(&ContentChunker::new(DEFAULT_CDC.with_algorithm(CdcAlgorithm::FastCdc)));
+
+    eprintln!("  chunking: rabin {:.2} MiB/s, fastcdc {:.2} MiB/s", mib_per_s(logical, rabin), mib_per_s(logical, fastcdc));
+    format!(
+        "{{\"metrics\": {{\"rabin_mib_s\": {:.2}, \"fastcdc_mib_s\": {:.2}, \"fastcdc_speedup\": {:.3}}}, \"detail\": {{\"workload_mib\": {}}}}}",
+        mib_per_s(logical, rabin),
+        mib_per_s(logical, fastcdc),
+        rabin / fastcdc,
+        logical >> 20
+    )
+}
+
+/// End-to-end session bench: two weekly generator snapshots through the
+/// full engine (backup both, restore the second), reporting wall-clock
+/// throughput on both sides and the second session's incremental dedup
+/// ratio — the trajectory metric "An Information-Theoretic Analysis of
+/// Deduplication" motivates tracking next to speed.
+fn bench_e2e(cfg: &RunConfig) -> String {
+    let mut gen = Generator::new(DatasetSpec::eval_mix((cfg.mb as u64) << 20), 2011);
+    let week0 = gen.snapshot(0);
+    let week1 = gen.snapshot(1);
+    let cloud = CloudSim::with_paper_defaults();
+    let mut engine = AaDedupe::with_config(
+        cloud.clone(),
+        AaDedupeConfig { pipeline: PipelineConfig::with_workers(4), ..AaDedupeConfig::default() },
+    );
+    let start = Instant::now();
+    let r0 = engine.backup_session(&week0.as_sources()).expect("backup week 0");
+    let r1 = engine.backup_session(&week1.as_sources()).expect("backup week 1");
+    let backup_secs = start.elapsed().as_secs_f64();
+    let logical = (r0.logical_bytes + r1.logical_bytes) as usize;
+
+    let opts = RestoreOptions { workers: 4, cache_capacity: 16 };
+    let disabled = Recorder::disabled();
+    let start = Instant::now();
+    let out = restore_session_pipelined(&cloud, "aa-dedupe", 1, &opts, &RetryPolicy::default(), &disabled)
+        .expect("restore week 1");
+    let restore_secs = start.elapsed().as_secs_f64();
+    let restored: usize = out.iter().map(|f| f.data.len()).sum();
+
+    eprintln!("  e2e: backup {:.2} MiB/s, restore {:.2} MiB/s, week-1 DR {:.2}", mib_per_s(logical, backup_secs), mib_per_s(restored, restore_secs), r1.dr());
+    format!(
+        "{{\"metrics\": {{\"backup_mib_s\": {:.2}, \"restore_mib_s\": {:.2}, \"dedup_ratio\": {:.4}}}, \"detail\": {{\"sessions\": 2, \"workload_mib\": {}, \"restored_mib\": {}}}}}",
+        mib_per_s(logical, backup_secs),
+        mib_per_s(restored, restore_secs),
+        r1.dr(),
+        logical >> 20,
+        restored >> 20
+    )
+}
+
+fn cmd_run(quick: bool, label: &str, out: Option<String>) -> ExitCode {
+    let cfg = RunConfig::new(quick);
+    eprintln!(
+        "aabench run: label {label}, {} MiB workloads, best of {}, workers {:?}",
+        cfg.mb, cfg.reps, cfg.workers
+    );
+    let benches = [
+        ("backup", bench_backup(&cfg)),
+        ("restore", bench_restore(&cfg)),
+        ("chunking", bench_chunking(&cfg)),
+        ("e2e", bench_e2e(&cfg)),
+    ];
+    let mut doc = format!(
+        "{{\n  \"schema_version\": {BENCH_SCHEMA_VERSION},\n  \"label\": \"{label}\",\n  \"quick\": {},\n  \"machine\": {},\n  \"config\": {{\"workload_mib\": {}, \"reps\": {}, \"max_workers\": {}}},\n  \"benches\": {{\n",
+        cfg.quick,
+        machine_json(),
+        cfg.mb,
+        cfg.reps,
+        cfg.workers.iter().max().expect("non-empty sweep")
+    );
+    for (i, (name, body)) in benches.iter().enumerate() {
+        doc.push_str(&format!("    \"{name}\": {body}"));
+        doc.push_str(if i + 1 < benches.len() { ",\n" } else { "\n" });
+    }
+    doc.push_str("  }\n}\n");
+
+    // The artifact must parse with the repo's own reader before it is
+    // allowed to exist.
+    if let Err(e) = json::parse(&doc) {
+        eprintln!("aabench bug: emitted invalid JSON: {e}");
+        return ExitCode::FAILURE;
+    }
+    let path = out.unwrap_or_else(|| format!("BENCH_{label}.json"));
+    if let Err(e) = std::fs::write(&path, &doc) {
+        eprintln!("cannot write {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {path}");
+    ExitCode::SUCCESS
+}
+
+fn load(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    json::parse(&text).map_err(|e| format!("parse {path}: {e}"))
+}
+
+/// Compares every numeric leaf under `benches.<bench>.metrics` of the two
+/// artifacts; all such metrics are higher-is-better. Returns the list of
+/// regressions beyond `tolerance_pct`.
+fn regressions(old: &Value, new: &Value, tolerance_pct: f64) -> Vec<String> {
+    let mut bad = Vec::new();
+    let Some(old_benches) = old.get("benches").as_obj() else {
+        bad.push("old artifact has no benches object".into());
+        return bad;
+    };
+    for (bench, old_body) in old_benches {
+        let Some(old_metrics) = old_body.get("metrics").as_obj() else { continue };
+        let new_metrics = new.get("benches").get(bench).get("metrics");
+        if new_metrics.as_obj().is_none() {
+            bad.push(format!("{bench}: missing from new artifact"));
+            continue;
+        }
+        for (key, old_v) in old_metrics {
+            let Some(old_n) = old_v.as_f64() else { continue };
+            let Some(new_n) = new_metrics.get(key).as_f64() else {
+                bad.push(format!("{bench}.{key}: missing from new artifact"));
+                continue;
+            };
+            let floor = old_n * (1.0 - tolerance_pct / 100.0);
+            if new_n < floor {
+                bad.push(format!(
+                    "{bench}.{key}: {new_n:.3} < {old_n:.3} - {tolerance_pct}% (floor {floor:.3})"
+                ));
+            }
+        }
+    }
+    bad
+}
+
+fn cmd_compare(old_path: &str, new_path: &str, tolerance_pct: f64) -> ExitCode {
+    let (old, new) = match (load(old_path), load(new_path)) {
+        (Ok(o), Ok(n)) => (o, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for (name, doc) in [(old_path, &old), (new_path, &new)] {
+        match doc.get("schema_version").as_u64() {
+            Some(v) if v == u64::from(BENCH_SCHEMA_VERSION) => {}
+            Some(v) => eprintln!("note: {name} has schema_version {v}, expected {BENCH_SCHEMA_VERSION}; comparing shared keys"),
+            None => {
+                eprintln!("error: {name} has no schema_version — not an aabench artifact");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let bad = regressions(&old, &new, tolerance_pct);
+    if bad.is_empty() {
+        println!(
+            "no regressions beyond {tolerance_pct}% ({} vs {})",
+            old.get("label").as_str().unwrap_or("?"),
+            new.get("label").as_str().unwrap_or("?")
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("perf regressions beyond {tolerance_pct}%:");
+        for b in &bad {
+            eprintln!("  {b}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    args.iter().position(|a| a == flag).map(|i| args.remove(i)).is_some()
+}
+
+fn take_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, ()> {
+    let Some(i) = args.iter().position(|a| a == flag) else { return Ok(None) };
+    if i + 1 >= args.len() {
+        return Err(());
+    }
+    let v = args.remove(i + 1);
+    args.remove(i);
+    Ok(Some(v))
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().cloned() else { return usage() };
+    args.remove(0);
+    match command.as_str() {
+        "run" => {
+            let quick = take_flag(&mut args, "--quick");
+            let Ok(label) = take_value(&mut args, "--label") else { return usage() };
+            let Ok(out) = take_value(&mut args, "--out") else { return usage() };
+            if !args.is_empty() {
+                return usage();
+            }
+            cmd_run(quick, &label.unwrap_or_else(|| "local".into()), out)
+        }
+        "compare" => {
+            let Ok(tol) = take_value(&mut args, "--tolerance") else { return usage() };
+            let tolerance = match tol.map(|t| t.parse::<f64>()) {
+                None => 10.0,
+                Some(Ok(t)) if t >= 0.0 => t,
+                Some(_) => return usage(),
+            };
+            match args.as_slice() {
+                [old, new] => cmd_compare(old, new, tolerance),
+                _ => usage(),
+            }
+        }
+        _ => usage(),
+    }
+}

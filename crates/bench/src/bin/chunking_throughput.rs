@@ -22,14 +22,11 @@
 use std::collections::HashSet;
 use std::time::Instant;
 
+use aadedupe_bench::perf::{env_or, BIN_SCHEMA_VERSION};
 use aadedupe_chunking::{
     CdcAlgorithm, Chunker, ContentChunker, ScChunker, WfcChunker, DEFAULT_CDC, DEFAULT_SC_SIZE,
 };
 use aadedupe_workload::{DatasetSpec, Generator};
-
-fn env_or<T: std::str::FromStr>(key: &str, default: T) -> T {
-    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
-}
 
 /// Two consecutive weekly snapshots of the evaluation mix, materialized.
 fn corpus(mb: usize, seed: u64) -> Vec<Vec<u8>> {
@@ -113,6 +110,7 @@ fn main() {
         rows.iter().find(|r| r.name == name).map_or(f64::NAN, |r| r.mib_per_s)
     };
     println!("{{");
+    println!("  \"schema_version\": {BIN_SCHEMA_VERSION},");
     println!("  \"workload_mib\": {},", logical >> 20);
     println!("  \"files\": {},", files.len());
     println!("  \"reps\": {reps},");

@@ -18,49 +18,11 @@
 use std::sync::Arc;
 use std::time::Instant;
 
+use aadedupe_bench::perf::{env_or, mixed_corpus, BIN_SCHEMA_VERSION};
 use aadedupe_cloud::CloudSim;
 use aadedupe_core::{AaDedupe, AaDedupeConfig, BackupScheme, PipelineConfig, PipelineMode};
 use aadedupe_filetype::{MemoryFile, SourceFile};
 use aadedupe_obs::{Queue, Recorder, Snapshot, Stage};
-use aadedupe_workload::Prng;
-
-fn env_or<T: std::str::FromStr>(key: &str, default: T) -> T {
-    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
-}
-
-/// A mixed-category corpus of ~`mb` MiB: large CDC-chunked media/archives,
-/// mid-size SC-chunked documents, and a sprinkle of tiny files so every
-/// pipeline stage (size filter, all three chunkers, tiny packer) is hot.
-fn corpus(mb: usize) -> Vec<MemoryFile> {
-    let mut files = Vec::new();
-    let target = mb << 20;
-    let mut produced = 0usize;
-    let exts = ["pdf", "doc", "mp3", "zip", "txt", "html", "vmdk", "avi"];
-    let mut i = 0usize;
-    while produced < target {
-        let ext = exts[i % exts.len()];
-        let len = match i % 8 {
-            // A few tiny files per cycle keep the bypass path exercised.
-            0 => 2 * 1024,
-            1 | 2 => 64 * 1024,
-            3..=5 => 256 * 1024,
-            _ => 1 << 20,
-        };
-        let mut data = vec![0u8; len];
-        Prng::derive(&[0x5CA1E, i as u64]).fill(&mut data);
-        // Make ~a third of the big files repeat earlier content so the
-        // dedup and duplicate-chunk paths see real traffic too.
-        if i % 3 == 2 && len >= 64 * 1024 {
-            let half = len / 2;
-            let (a, b) = data.split_at_mut(half);
-            b[..half].copy_from_slice(&a[..half]);
-        }
-        files.push(MemoryFile::new(format!("scale/f{i:05}.{ext}"), data));
-        produced += len;
-        i += 1;
-    }
-    files
-}
 
 fn time_backup(files: &[MemoryFile], pipeline: PipelineConfig) -> f64 {
     let config = AaDedupeConfig { pipeline, ..AaDedupeConfig::default() };
@@ -113,7 +75,7 @@ fn main() {
             |s| s.split(',').map(|w| w.trim().parse().expect("worker count")).collect(),
         );
 
-    let files = corpus(mb);
+    let files = mixed_corpus(mb, 0x5CA1E, "scale");
     let logical: usize = files.iter().map(|f| f.data.len()).sum();
     eprintln!(
         "pipeline_scaling: {} files, {} MiB, workers {:?}, best of {}",
@@ -142,6 +104,7 @@ fn main() {
         .find(|(w, _, _)| *w == 1)
         .map_or(results[0].1, |(_, t, _)| *t);
     println!("{{");
+    println!("  \"schema_version\": {BIN_SCHEMA_VERSION},");
     println!("  \"workload_mib\": {},", logical >> 20);
     println!("  \"files\": {},", files.len());
     println!("  \"reps\": {reps},");

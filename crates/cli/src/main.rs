@@ -16,24 +16,27 @@
 //! aabackup stats   --repo <dir>                   repository statistics
 //! ```
 
+mod progress;
 mod source;
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 use aadedupe_chunking::CdcAlgorithm;
 use aadedupe_cloud::{CloudSim, FsObjectStore, PriceModel, WanModel};
 use aadedupe_core::{
     AaDedupe, AaDedupeConfig, BackupScheme, PipelineConfig, RestoreOptions, RetryPolicy,
 };
-use aadedupe_obs::Recorder;
+use aadedupe_obs::{Recorder, Sampler, SamplerConfig, Scope};
 
+use progress::{Progress, ProgressKind};
 use source::walk_directory;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  aabackup backup  --repo <dir> [--workers N] [--chunker rabin|fastcdc] [--stats] [--stats-json <file>] [--trace <file>] <source-dir>\n  aabackup restore --repo <dir> [--workers N] [--stats] <session> <out-dir>\n  aabackup restore-file --repo <dir> [--workers N] <session> <path> <out-file>\n  aabackup sessions --repo <dir>\n  aabackup delete  --repo <dir> <session>\n  aabackup stats   --repo <dir>"
+        "usage:\n  aabackup backup  --repo <dir> [--workers N] [--chunker rabin|fastcdc] [--stats] [--stats-json <file>] [--trace <file>]\n                   [--metrics <file>] [--metrics-interval-ms N] [--progress] <source-dir>\n  aabackup restore --repo <dir> [--workers N] [--stats] [--stats-json <file>]\n                   [--metrics <file>] [--metrics-interval-ms N] [--progress] <session> <out-dir>\n  aabackup restore-file --repo <dir> [--workers N] <session> <path> <out-file>\n  aabackup sessions --repo <dir>\n  aabackup delete  --repo <dir> <session>\n  aabackup stats   --repo <dir>"
     );
     ExitCode::from(2)
 }
@@ -108,16 +111,78 @@ fn take_path(args: &mut Vec<String>, flag: &str) -> Result<Option<PathBuf>, ()> 
     Ok(Some(PathBuf::from(value)))
 }
 
-/// Observability outputs requested on the `backup` command line.
+/// Splits `<flag> <n>` (a non-negative integer) out of the argument list.
+/// `Err` means the flag was present but its value was missing or
+/// non-numeric.
+fn take_u64(args: &mut Vec<String>, flag: &str) -> Result<Option<u64>, ()> {
+    let Some(i) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    if i + 1 >= args.len() {
+        return Err(());
+    }
+    let value = args.remove(i + 1);
+    args.remove(i);
+    value.parse::<u64>().map(Some).map_err(|_| ())
+}
+
+/// Observability outputs requested on the command line.
 struct ObsArgs {
     stats: bool,
     stats_json: Option<PathBuf>,
     trace: Option<PathBuf>,
+    metrics: Option<PathBuf>,
+    metrics_interval_ms: u64,
+    progress: bool,
 }
 
 impl ObsArgs {
     fn any(&self) -> bool {
-        self.stats || self.stats_json.is_some() || self.trace.is_some()
+        self.stats
+            || self.stats_json.is_some()
+            || self.trace.is_some()
+            || self.metrics.is_some()
+            || self.progress
+    }
+
+    /// Whether a background sampler is needed (metrics stream or live
+    /// progress line).
+    fn wants_sampler(&self) -> bool {
+        self.metrics.is_some() || self.progress
+    }
+
+    /// Spawns the sampler for `session_label` when requested; the handle
+    /// is inert when nothing needs sampling.
+    fn spawn_sampler(&self, rec: &Arc<Recorder>, session_label: String) -> Option<Sampler> {
+        self.wants_sampler().then(|| {
+            let cfg = SamplerConfig {
+                interval: Duration::from_millis(self.metrics_interval_ms.max(1)),
+                ..SamplerConfig::default()
+            };
+            Sampler::spawn(Arc::clone(rec), Scope::session(session_label), cfg)
+        })
+    }
+
+    /// Stops `sampler` and writes its NDJSON stream to `--metrics` if
+    /// requested.
+    fn finish_sampler(&self, sampler: Option<Sampler>) -> Result<(), String> {
+        let Some(sampler) = sampler else { return Ok(()) };
+        let series = sampler.stop();
+        if let Some(path) = &self.metrics {
+            std::fs::write(path, series.to_ndjson())
+                .map_err(|e| format!("write metrics {path:?}: {e}"))?;
+            println!(
+                "  metrics time-series written to {} ({} samples{})",
+                path.display(),
+                series.len(),
+                if series.dropped() > 0 {
+                    format!(", {} evicted", series.dropped())
+                } else {
+                    String::new()
+                }
+            );
+        }
+        Ok(())
     }
 }
 
@@ -179,7 +244,22 @@ fn cmd_backup(
     let sources: Vec<&dyn aadedupe_filetype::SourceFile> =
         files.iter().map(|f| f as &dyn aadedupe_filetype::SourceFile).collect();
     let session = engine.sessions_completed();
-    let report = engine.backup_session(&sources).map_err(|e| format!("backup failed: {e}"))?;
+    let sampler = rec
+        .as_ref()
+        .and_then(|r| obs.spawn_sampler(r, format!("backup-{session:05}")));
+    let live = (obs.progress && sampler.is_some()).then(|| {
+        let total: u64 = sources.iter().map(|f| f.size()).sum();
+        Progress::start(
+            sampler.as_ref().expect("guarded above").probe(),
+            ProgressKind::Backup,
+            Some(total),
+        )
+    });
+    let outcome = engine.backup_session(&sources);
+    if let Some(live) = live {
+        live.finish();
+    }
+    let report = outcome.map_err(|e| format!("backup failed: {e}"))?;
     println!(
         "session {session}: {} files ({} tiny), {} logical",
         report.files_total,
@@ -199,6 +279,7 @@ fn cmd_backup(
         report.dedup_cpu.as_secs_f64(),
         human(report.de() as u64)
     );
+    obs.finish_sampler(sampler)?;
     if let Some(rec) = rec {
         let snap = rec.snapshot();
         if obs.stats {
@@ -230,9 +311,23 @@ fn cmd_restore(
 ) -> Result<(), String> {
     let rec = obs.any().then(Recorder::shared);
     let engine = open_engine(repo, workers, CdcAlgorithm::Rabin, rec.clone())?;
-    let files = engine
-        .restore_session(session)
-        .map_err(|e| format!("restore failed: {e}"))?;
+    let sampler = rec
+        .as_ref()
+        .and_then(|r| obs.spawn_sampler(r, format!("restore-{session:05}")));
+    let live = (obs.progress && sampler.is_some()).then(|| {
+        Progress::start(
+            sampler.as_ref().expect("guarded above").probe(),
+            // Restore size is not known until the manifest is assembled,
+            // so the line shows throughput without an ETA.
+            ProgressKind::Restore,
+            None,
+        )
+    });
+    let outcome = engine.restore_session(session);
+    if let Some(live) = live {
+        live.finish();
+    }
+    let files = outcome.map_err(|e| format!("restore failed: {e}"))?;
     for f in &files {
         let dest = out.join(&f.path);
         if let Some(parent) = dest.parent() {
@@ -241,6 +336,7 @@ fn cmd_restore(
         std::fs::write(&dest, &f.data).map_err(|e| format!("write {dest:?}: {e}"))?;
     }
     println!("restored {} files from session {session} into {out:?}", files.len());
+    obs.finish_sampler(sampler)?;
     if let Some(rec) = rec {
         let snap = rec.snapshot();
         if obs.stats {
@@ -350,7 +446,19 @@ fn main() -> ExitCode {
     let stats = take_flag(&mut args, "--stats");
     let Ok(stats_json) = take_path(&mut args, "--stats-json") else { return usage() };
     let Ok(trace) = take_path(&mut args, "--trace") else { return usage() };
-    let obs = ObsArgs { stats, stats_json, trace };
+    let Ok(metrics) = take_path(&mut args, "--metrics") else { return usage() };
+    let Ok(metrics_interval_ms) = take_u64(&mut args, "--metrics-interval-ms") else {
+        return usage();
+    };
+    let progress = take_flag(&mut args, "--progress");
+    let obs = ObsArgs {
+        stats,
+        stats_json,
+        trace,
+        metrics,
+        metrics_interval_ms: metrics_interval_ms.unwrap_or(250),
+        progress,
+    };
 
     let result = match (command.as_str(), args.as_slice()) {
         ("backup", [src]) => cmd_backup(&repo, Path::new(src), workers, chunker, &obs),

@@ -46,6 +46,79 @@ fn parse_summary(out: &str) -> (u64, u64, u64) {
     )
 }
 
+/// `--metrics` streams the background sampler's time series to disk as
+/// NDJSON: a schema-versioned header line followed by delta samples whose
+/// byte totals reconcile with the backup itself. `--progress` renders a
+/// live status line on stderr without disturbing any of it.
+#[test]
+fn metrics_ndjson_and_progress_outputs() {
+    let root = std::env::temp_dir().join(format!("aabackup-metrics-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&root);
+    fs::create_dir_all(root.join("src")).unwrap();
+    fs::create_dir_all(root.join("repo")).unwrap();
+
+    // Enough unique data that the run spans several 5 ms sampling ticks.
+    let mut src_bytes = 0u64;
+    for i in 0..6u32 {
+        let payload: Vec<u8> = (0..400_000u32)
+            .map(|j| (j.wrapping_mul(2654435761).wrapping_add(i * 7919) >> 9) as u8)
+            .collect();
+        src_bytes += payload.len() as u64;
+        fs::write(root.join(format!("src/data{i}.doc")), payload).unwrap();
+    }
+
+    let repo = root.join("repo");
+    let metrics_path = root.join("metrics.ndjson");
+    let (ok, out) = run(&[
+        "backup",
+        "--repo",
+        repo.to_str().unwrap(),
+        "--workers",
+        "2",
+        "--metrics",
+        metrics_path.to_str().unwrap(),
+        "--metrics-interval-ms",
+        "5",
+        "--progress",
+        root.join("src").to_str().unwrap(),
+    ]);
+    assert!(ok, "{out}");
+    // The live progress line rendered at least once (carriage-return
+    // redraws land on stderr, captured into `out`).
+    assert!(out.contains("\rbackup  "), "no progress line:\n{out}");
+    assert!(out.contains("/s"), "no throughput in progress line:\n{out}");
+
+    // The metrics stream parses line by line and starts with the header.
+    let text = fs::read_to_string(&metrics_path).unwrap();
+    let docs = json::parse_ndjson(&text).expect("metrics NDJSON parses");
+    assert!(docs.len() >= 2, "header plus at least one sample:\n{text}");
+    let header = &docs[0];
+    assert_eq!(header.get("kind").as_str(), Some("header"), "{text}");
+    assert_eq!(header.get("schema_version").as_u64(), Some(1));
+    assert!(header.get("interval_ms").as_u64() == Some(5), "{text}");
+    let session = header.get("scope").get("session").as_str().expect("scope.session");
+    assert!(session.starts_with("backup-"), "scope labels the run: {session}");
+
+    // Every subsequent line is a sample; interval deltas reconcile with
+    // the source corpus exactly (the final partial tick loses nothing).
+    let mut sampled_source = 0u64;
+    let mut last_seq = None;
+    for sample in &docs[1..] {
+        assert_eq!(sample.get("kind").as_str(), Some("sample"));
+        let seq = sample.get("seq").as_u64().expect("sample seq");
+        if let Some(prev) = last_seq {
+            assert_eq!(seq, prev + 1, "contiguous sample sequence");
+        }
+        last_seq = Some(seq);
+        sampled_source += sample.get("source_bytes").as_u64().expect("source_bytes");
+    }
+    assert_eq!(sampled_source, src_bytes, "sampled deltas sum to the corpus size:\n{text}");
+    let last = docs.last().unwrap();
+    assert_eq!(last.get("cum").get("source_bytes").as_u64(), Some(src_bytes));
+
+    let _ = fs::remove_dir_all(&root);
+}
+
 #[test]
 fn stats_json_and_trace_outputs() {
     let root = std::env::temp_dir().join(format!("aabackup-obs-{}", std::process::id()));

@@ -156,6 +156,7 @@ impl ContainerStore {
     pub fn add_chunk(&mut self, stream: u32, fp: Fingerprint, chunk: &[u8]) -> Placement {
         let started = self.recorder.start();
         self.recorder.count(Counter::ContainerAppends, 1);
+        self.recorder.count(Counter::StoredBytes, chunk.len() as u64);
         self.stats.chunks += 1;
         self.stats.data_bytes += chunk.len() as u64;
         let digest_len = fp.algorithm().digest_len();

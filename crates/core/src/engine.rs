@@ -370,6 +370,7 @@ fn pack_tiny(
     let packing = rec.start();
     rec.count(Counter::TinyPacked, 1);
     let data = file.read();
+    rec.count(Counter::SourceBytes, data.len() as u64);
     // Tiny files are fingerprinted only for restore-time integrity
     // (container descriptors need a key); they are not indexed.
     let ((fp, len, placement), cpu) = crate::timing::measure_cpu(|| {
@@ -630,6 +631,7 @@ impl AaDedupe {
                 let app = file.app_type();
                 rec.record(Stage::Classify, classify);
                 let data = file.read();
+                rec.count(Counter::SourceBytes, data.len() as u64);
                 let chunked =
                     chunk_and_hash(&cfg.policy, cfg.sc_chunk_size, cfg.cdc_for(app), app, &data, rec);
                 dedupe_chunks(index, file.path(), app, chunked, &mut |fp, bytes| {
@@ -803,6 +805,7 @@ impl AaDedupe {
                         let app = file.app_type();
                         rec.record(Stage::Classify, classify);
                         let data = file.read();
+                        rec.count(Counter::SourceBytes, data.len() as u64);
                         let cf = chunk_and_hash(
                             &cfg.policy,
                             cfg.sc_chunk_size,

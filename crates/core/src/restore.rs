@@ -505,7 +505,9 @@ fn assemble(
             resident.touch(&c.container);
             let d = lookup_descriptor(fc, c.container, c.offset, &c.fingerprint)?;
             check_len(&c.fingerprint, c.len, &d)?;
-            data.extend_from_slice(fc.parsed.chunk_bytes(&d));
+            let chunk = fc.parsed.chunk_bytes(&d);
+            rec.count(Counter::RestoredBytes, chunk.len() as u64);
+            data.extend_from_slice(chunk);
             if last_use.get(&c.container) == Some(&seq) {
                 // Last referencing chunk consumed: free the slot.
                 resident.remove(&c.container);

@@ -96,6 +96,36 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
+/// Parse error for one line of an NDJSON stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NdjsonError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// The underlying document parse error.
+    pub inner: ParseError,
+}
+
+impl fmt::Display for NdjsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "NDJSON line {}: {}", self.line, self.inner)
+    }
+}
+
+impl std::error::Error for NdjsonError {}
+
+/// Parses an NDJSON stream (one JSON document per line; blank lines are
+/// skipped — a truncated final line is an error, not silently dropped).
+pub fn parse_ndjson(input: &str) -> Result<Vec<Value>, NdjsonError> {
+    let mut docs = Vec::new();
+    for (i, line) in input.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        docs.push(parse(line).map_err(|inner| NdjsonError { line: i + 1, inner })?);
+    }
+    Ok(docs)
+}
+
 /// Parses one JSON document, requiring it to span the whole input.
 pub fn parse(input: &str) -> Result<Value, ParseError> {
     let b = input.as_bytes();

@@ -31,11 +31,20 @@
 
 pub mod hist;
 pub mod json;
+pub mod sampler;
+pub mod series;
 pub mod snapshot;
 pub mod trace;
 
 pub use hist::{bucket_bounds, bucket_index, Histogram, HistogramSnapshot, BUCKETS};
-pub use snapshot::{AppIndexSnapshot, QueueSnapshot, Snapshot, StageSnapshot, WorkerSnapshot};
+pub use sampler::{Sampler, SamplerConfig, SamplerCore, SamplerProbe};
+pub use series::{
+    AppInterval, QueuePoint, SamplePoint, Scope, TimeSeries, METRICS_SCHEMA_VERSION,
+};
+pub use snapshot::{
+    AppIndexSnapshot, QueueSnapshot, Snapshot, StageSnapshot, WorkerSnapshot,
+    STATS_SCHEMA_VERSION,
+};
 pub use trace::{TraceEvent, TraceSink};
 
 use std::fmt;
@@ -148,11 +157,21 @@ pub enum Counter {
     /// Restore downloads abandoned (permanent failure, attempts or budget
     /// exhausted).
     RestoreGiveups,
+    /// Bytes read from the source dataset into the pipeline (big files at
+    /// chunk time, tiny files at pack time; carried-forward tiny files move
+    /// no bytes and are not counted).
+    SourceBytes,
+    /// Unique chunk payload bytes appended to containers (post-dedup,
+    /// pre-container framing) — the live numerator of the stored side of
+    /// the dedup ratio.
+    StoredBytes,
+    /// Bytes assembled into restored files.
+    RestoredBytes,
 }
 
 impl Counter {
     /// Every counter.
-    pub const ALL: [Counter; 18] = [
+    pub const ALL: [Counter; 21] = [
         Counter::FilesClassified,
         Counter::ChunksCdc,
         Counter::ChunksSc,
@@ -171,6 +190,9 @@ impl Counter {
         Counter::OrphansSwept,
         Counter::RestoreRetries,
         Counter::RestoreGiveups,
+        Counter::SourceBytes,
+        Counter::StoredBytes,
+        Counter::RestoredBytes,
     ];
 
     /// Stable snake_case name (the JSON key).
@@ -194,6 +216,9 @@ impl Counter {
             Counter::OrphansSwept => "orphans_swept",
             Counter::RestoreRetries => "restore_retries",
             Counter::RestoreGiveups => "restore_giveups",
+            Counter::SourceBytes => "source_bytes",
+            Counter::StoredBytes => "stored_bytes",
+            Counter::RestoredBytes => "restored_bytes",
         }
     }
 }
@@ -262,6 +287,11 @@ pub const MAX_APP_TAG: usize = 32;
 struct QueueGauge {
     depth: AtomicI64,
     hwm: AtomicI64,
+    /// Pops that arrived while the gauge was already at zero. Concurrent
+    /// producers and consumers can interleave push/pop arbitrarily, so the
+    /// gauge saturates instead of going negative, and the mismatch is
+    /// counted here rather than corrupting the depth.
+    underflow: AtomicU64,
 }
 
 /// One thread's accumulated busy/idle time.
@@ -439,11 +469,17 @@ impl Recorder {
         }
     }
 
-    /// Notes one item leaving a queue.
+    /// Notes one item leaving a queue. Saturates at zero: a pop that races
+    /// ahead of its matching push (or a caller bug) increments the gauge's
+    /// underflow counter instead of driving the depth negative — a negative
+    /// depth would poison every later high-water reading.
     #[inline]
     pub fn queue_pop(&self, q: Queue) {
         if self.is_enabled() {
-            self.queues[q as usize].depth.fetch_sub(1, Relaxed);
+            let g = &self.queues[q as usize];
+            if g.depth.fetch_update(Relaxed, Relaxed, |d| (d > 0).then(|| d - 1)).is_err() {
+                g.underflow.fetch_add(1, Relaxed);
+            }
         }
     }
 
@@ -544,6 +580,7 @@ impl Recorder {
                         queue: q,
                         depth: g.depth.load(Relaxed).max(0) as u64,
                         hwm: g.hwm.load(Relaxed).max(0) as u64,
+                        underflow: g.underflow.load(Relaxed),
                     }
                 })
                 .collect(),
@@ -566,6 +603,7 @@ impl Recorder {
         for q in &self.queues {
             q.depth.store(0, Relaxed);
             q.hwm.store(0, Relaxed);
+            q.underflow.store(0, Relaxed);
         }
         self.workers.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clear();
         self.trace.drain();

@@ -1,0 +1,472 @@
+//! Dimensional time-series storage for the background sampler.
+//!
+//! A [`TimeSeries`] is a bounded ring buffer of [`SamplePoint`]s — one per
+//! sampler tick — labelled by a [`Scope`]: the session id, an optional
+//! application tag, and a reserved tenant field. The scope is the
+//! *dimension set* of every series the sampler emits; the multi-tenant
+//! fleet service (ROADMAP) will key admission-control signals by exactly
+//! these labels, so they are first-class here even though a single-client
+//! CLI only ever fills the session dimension.
+//!
+//! Memory is bounded by construction: the ring holds at most `capacity`
+//! samples and evicts the oldest on overflow, counting evictions in
+//! [`TimeSeries::dropped`] so exports are honest about truncation.
+
+use crate::Queue;
+use std::collections::VecDeque;
+
+/// Version of the metrics NDJSON stream layout (header + sample lines).
+/// Additive changes (new keys) do not bump this; removals or retypings do.
+/// Consumers must tolerate unknown keys.
+pub const METRICS_SCHEMA_VERSION: u32 = 1;
+
+/// Dimensional labels attached to a sampler's series.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Scope {
+    /// Session identifier (e.g. `backup-00003`, `restore-00001`).
+    pub session: String,
+    /// Application label for app-scoped series (`None` for pipeline-wide
+    /// series; per-app entries inside a sample carry their own label).
+    pub app: Option<String>,
+    /// Reserved tenant dimension for the fleet-scale service. Always
+    /// `None` from the single-client CLI today; serialized when present so
+    /// downstream dashboards need no schema change when tenancy lands.
+    pub tenant: Option<String>,
+}
+
+impl Scope {
+    /// A scope labelling one session, with no app or tenant dimension.
+    pub fn session(id: impl Into<String>) -> Scope {
+        Scope { session: id.into(), app: None, tenant: None }
+    }
+
+    /// This scope narrowed to one application label.
+    pub fn with_app(&self, app: impl Into<String>) -> Scope {
+        Scope { app: Some(app.into()), ..self.clone() }
+    }
+
+    /// This scope narrowed to one tenant.
+    pub fn with_tenant(&self, tenant: impl Into<String>) -> Scope {
+        Scope { tenant: Some(tenant.into()), ..self.clone() }
+    }
+
+    /// The canonical series key for `metric` under this scope:
+    /// `session=<s>[,app=<a>][,tenant=<t>]|<metric>`. Stable and ordered,
+    /// so keys compare and sort deterministically.
+    pub fn series_key(&self, metric: &str) -> String {
+        let mut key = format!("session={}", self.session);
+        if let Some(app) = &self.app {
+            key.push_str(&format!(",app={app}"));
+        }
+        if let Some(tenant) = &self.tenant {
+            key.push_str(&format!(",tenant={tenant}"));
+        }
+        key.push('|');
+        key.push_str(metric);
+        key
+    }
+
+    /// The scope as a JSON object fragment (absent dimensions omitted).
+    pub fn to_json(&self) -> String {
+        let mut out = format!("{{\"session\": {}", json_str(&self.session));
+        if let Some(app) = &self.app {
+            out.push_str(&format!(", \"app\": {}", json_str(app)));
+        }
+        if let Some(tenant) = &self.tenant {
+            out.push_str(&format!(", \"tenant\": {}", json_str(tenant)));
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Minimal JSON string escaping for label values (labels are short ASCII
+/// identifiers in practice; escaping keeps arbitrary ones well-formed).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// One queue gauge at sample time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueuePoint {
+    /// Which queue.
+    pub queue: Queue,
+    /// Instantaneous depth at the tick.
+    pub depth: u64,
+    /// Cumulative high-water mark at the tick.
+    pub hwm: u64,
+}
+
+/// One application partition's index traffic within a sample interval.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppInterval {
+    /// Application tag.
+    pub tag: u8,
+    /// Registered label.
+    pub label: String,
+    /// Index hits within the interval.
+    pub hits: u64,
+    /// Index misses within the interval.
+    pub misses: u64,
+}
+
+impl AppInterval {
+    /// Hit fraction of the interval's lookups (0 when there were none).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// One sampler tick: per-interval deltas plus cumulative progress totals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SamplePoint {
+    /// Tick sequence number (0-based, monotonic, survives ring eviction).
+    pub seq: u64,
+    /// End of the interval, milliseconds since the sampler's epoch
+    /// (`Instant`-based; no wall clock anywhere).
+    pub t_ms: u64,
+    /// Measured interval length in milliseconds.
+    pub dt_ms: u64,
+    /// Source bytes read into the pipeline this interval.
+    pub source_bytes: u64,
+    /// Unique chunk payload bytes stored this interval.
+    pub stored_bytes: u64,
+    /// Bytes uploaded this interval.
+    pub upload_bytes: u64,
+    /// Bytes assembled into restored files this interval.
+    pub restored_bytes: u64,
+    /// Upload + restore retries this interval.
+    pub retries: u64,
+    /// Cumulative source bytes since the sampler started.
+    pub cum_source_bytes: u64,
+    /// Cumulative stored bytes since the sampler started.
+    pub cum_stored_bytes: u64,
+    /// Cumulative restored bytes since the sampler started.
+    pub cum_restored_bytes: u64,
+    /// Every queue gauge at the tick (depth + high-water).
+    pub queues: Vec<QueuePoint>,
+    /// Per-application index traffic within the interval (only apps with
+    /// traffic; each entry is an app-dimensioned series under the scope).
+    pub apps: Vec<AppInterval>,
+}
+
+impl SamplePoint {
+    fn rate(bytes: u64, dt_ms: u64) -> f64 {
+        if dt_ms == 0 {
+            0.0
+        } else {
+            bytes as f64 * 1000.0 / dt_ms as f64
+        }
+    }
+
+    /// Source-read throughput over the interval, bytes/s.
+    pub fn source_bps(&self) -> f64 {
+        Self::rate(self.source_bytes, self.dt_ms)
+    }
+
+    /// Stored-payload throughput over the interval, bytes/s.
+    pub fn stored_bps(&self) -> f64 {
+        Self::rate(self.stored_bytes, self.dt_ms)
+    }
+
+    /// Upload throughput over the interval, bytes/s.
+    pub fn upload_bps(&self) -> f64 {
+        Self::rate(self.upload_bytes, self.dt_ms)
+    }
+
+    /// Restore throughput over the interval, bytes/s.
+    pub fn restored_bps(&self) -> f64 {
+        Self::rate(self.restored_bytes, self.dt_ms)
+    }
+
+    /// Running dedup ratio: cumulative source over cumulative stored bytes
+    /// (1.0 before any bytes moved — nothing read dedups to nothing).
+    pub fn dedup_ratio_so_far(&self) -> f64 {
+        if self.cum_source_bytes == 0 {
+            1.0
+        } else if self.cum_stored_bytes == 0 {
+            f64::INFINITY
+        } else {
+            self.cum_source_bytes as f64 / self.cum_stored_bytes as f64
+        }
+    }
+
+    /// One NDJSON sample line (`"kind": "sample"`).
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"kind\": \"sample\", \"seq\": {}, \"t_ms\": {}, \"dt_ms\": {}, \
+             \"source_bytes\": {}, \"source_bps\": {:.1}, \
+             \"stored_bytes\": {}, \"stored_bps\": {:.1}, \
+             \"upload_bytes\": {}, \"upload_bps\": {:.1}, \
+             \"restored_bytes\": {}, \"restored_bps\": {:.1}, \
+             \"retries\": {}, \"dedup_ratio\": {}, \
+             \"cum\": {{\"source_bytes\": {}, \"stored_bytes\": {}, \"restored_bytes\": {}}}",
+            self.seq,
+            self.t_ms,
+            self.dt_ms,
+            self.source_bytes,
+            self.source_bps(),
+            self.stored_bytes,
+            self.stored_bps(),
+            self.upload_bytes,
+            self.upload_bps(),
+            self.restored_bytes,
+            self.restored_bps(),
+            self.retries,
+            json_ratio(self.dedup_ratio_so_far()),
+            self.cum_source_bytes,
+            self.cum_stored_bytes,
+            self.cum_restored_bytes,
+        );
+        out.push_str(", \"queues\": {");
+        for (i, q) in self.queues.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "\"{}\": {{\"depth\": {}, \"hwm\": {}}}",
+                q.queue.name(),
+                q.depth,
+                q.hwm
+            ));
+        }
+        out.push_str("}, \"apps\": [");
+        for (i, a) in self.apps.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"app\": {}, \"tag\": {}, \"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}}}",
+                json_str(&a.label),
+                a.tag,
+                a.hits,
+                a.misses,
+                a.hit_rate()
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Infinity is not valid JSON; the running dedup ratio is unbounded until
+/// the first unique byte lands, so encode that state as `null`.
+fn json_ratio(r: f64) -> String {
+    if r.is_finite() {
+        format!("{r:.4}")
+    } else {
+        "null".into()
+    }
+}
+
+/// A bounded ring buffer of samples under one scope.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeries {
+    scope: Scope,
+    interval_ms: u64,
+    capacity: usize,
+    samples: VecDeque<SamplePoint>,
+    dropped: u64,
+}
+
+impl TimeSeries {
+    /// An empty series with the given scope, nominal sampling interval,
+    /// and ring capacity (clamped to at least 1).
+    pub fn new(scope: Scope, interval_ms: u64, capacity: usize) -> TimeSeries {
+        let capacity = capacity.max(1);
+        TimeSeries {
+            scope,
+            interval_ms,
+            capacity,
+            samples: VecDeque::with_capacity(capacity.min(1024)),
+            dropped: 0,
+        }
+    }
+
+    /// The series' scope.
+    pub fn scope(&self) -> &Scope {
+        &self.scope
+    }
+
+    /// The nominal sampling interval in milliseconds.
+    pub fn interval_ms(&self) -> u64 {
+        self.interval_ms
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Samples currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples are held.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Samples evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Appends a sample, evicting the oldest when the ring is full.
+    pub fn push(&mut self, sample: SamplePoint) {
+        if self.samples.len() == self.capacity {
+            self.samples.pop_front();
+            self.dropped += 1;
+        }
+        self.samples.push_back(sample);
+    }
+
+    /// The newest sample.
+    pub fn latest(&self) -> Option<&SamplePoint> {
+        self.samples.back()
+    }
+
+    /// Oldest-to-newest iteration.
+    pub fn iter(&self) -> impl Iterator<Item = &SamplePoint> {
+        self.samples.iter()
+    }
+
+    /// The canonical key of one of this series' metrics (scope-labelled).
+    pub fn series_key(&self, metric: &str) -> String {
+        self.scope.series_key(metric)
+    }
+
+    /// The NDJSON header line (`"kind": "header"`): schema version, scope,
+    /// nominal interval, ring capacity, and how many samples were evicted.
+    pub fn header_json(&self) -> String {
+        format!(
+            "{{\"schema_version\": {METRICS_SCHEMA_VERSION}, \"kind\": \"header\", \
+             \"scope\": {}, \"interval_ms\": {}, \"capacity\": {}, \"dropped\": {}}}",
+            self.scope.to_json(),
+            self.interval_ms,
+            self.capacity,
+            self.dropped
+        )
+    }
+
+    /// The whole series as NDJSON: one header line, then one line per
+    /// sample, oldest first.
+    pub fn to_ndjson(&self) -> String {
+        let mut out = self.header_json();
+        out.push('\n');
+        for s in &self.samples {
+            out.push_str(&s.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes [`TimeSeries::to_ndjson`] to `out`.
+    pub fn write_ndjson(&self, out: &mut dyn std::io::Write) -> std::io::Result<()> {
+        out.write_all(self.to_ndjson().as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn sample(seq: u64) -> SamplePoint {
+        SamplePoint {
+            seq,
+            t_ms: 250 * (seq + 1),
+            dt_ms: 250,
+            source_bytes: 1000,
+            stored_bytes: 400,
+            upload_bytes: 500,
+            restored_bytes: 0,
+            retries: 0,
+            cum_source_bytes: 1000 * (seq + 1),
+            cum_stored_bytes: 400 * (seq + 1),
+            cum_restored_bytes: 0,
+            queues: vec![QueuePoint { queue: Queue::Jobs, depth: 2, hwm: 5 }],
+            apps: vec![AppInterval { tag: 7, label: "pdf".into(), hits: 3, misses: 1 }],
+        }
+    }
+
+    #[test]
+    fn ring_is_bounded_and_counts_evictions() {
+        let mut ts = TimeSeries::new(Scope::session("s"), 250, 4);
+        for seq in 0..10 {
+            ts.push(sample(seq));
+        }
+        assert_eq!(ts.len(), 4);
+        assert_eq!(ts.dropped(), 6);
+        // Oldest survivors are the newest four, in order.
+        let seqs: Vec<u64> = ts.iter().map(|s| s.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+        assert_eq!(ts.latest().map(|s| s.seq), Some(9));
+    }
+
+    #[test]
+    fn scope_series_keys_are_canonical() {
+        let base = Scope::session("backup-00001");
+        assert_eq!(base.series_key("source_bps"), "session=backup-00001|source_bps");
+        let app = base.with_app("pdf");
+        assert_eq!(app.series_key("hit_rate"), "session=backup-00001,app=pdf|hit_rate");
+        let tenant = app.with_tenant("t42");
+        assert_eq!(
+            tenant.series_key("hit_rate"),
+            "session=backup-00001,app=pdf,tenant=t42|hit_rate"
+        );
+    }
+
+    #[test]
+    fn ndjson_round_trips_through_the_json_reader() {
+        let mut ts = TimeSeries::new(Scope::session("s-0").with_tenant("acme"), 250, 8);
+        ts.push(sample(0));
+        ts.push(sample(1));
+        let docs = json::parse_ndjson(&ts.to_ndjson()).expect("NDJSON parses");
+        assert_eq!(docs.len(), 3);
+        let header = &docs[0];
+        assert_eq!(header.get("kind").as_str(), Some("header"));
+        assert_eq!(
+            header.get("schema_version").as_u64(),
+            Some(u64::from(METRICS_SCHEMA_VERSION))
+        );
+        assert_eq!(header.get("scope").get("session").as_str(), Some("s-0"));
+        assert_eq!(header.get("scope").get("tenant").as_str(), Some("acme"));
+        let s = &docs[1];
+        assert_eq!(s.get("kind").as_str(), Some("sample"));
+        assert_eq!(s.get("source_bytes").as_u64(), Some(1000));
+        assert_eq!(s.get("source_bps").as_f64(), Some(4000.0));
+        assert_eq!(s.get("queues").get("jobs").get("hwm").as_u64(), Some(5));
+        assert_eq!(s.get("apps").at(0).get("app").as_str(), Some("pdf"));
+        assert_eq!(s.get("apps").at(0).get("hit_rate").as_f64(), Some(0.75));
+        assert_eq!(s.get("dedup_ratio").as_f64(), Some(2.5));
+    }
+
+    #[test]
+    fn unbounded_dedup_ratio_serializes_as_null() {
+        let mut s = sample(0);
+        s.cum_stored_bytes = 0;
+        let doc = json::parse(&s.to_json()).expect("sample parses");
+        assert_eq!(doc.get("dedup_ratio"), &json::Value::Null);
+    }
+}

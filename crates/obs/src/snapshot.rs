@@ -15,6 +15,17 @@ use crate::hist::HistogramSnapshot;
 use crate::{Counter, Queue, Stage, WorkerRole};
 use std::time::Duration;
 
+/// Version of the `--stats-json` document layout. History:
+///
+/// * 1 — PR 2's original document (no version field).
+/// * 2 — adds `schema_version`, per-queue `underflow`, and the
+///   `source_bytes` / `stored_bytes` / `restored_bytes` counters.
+///
+/// Consumers must tolerate unknown keys (the `obs::json` reader does by
+/// construction: unknown members are simply never asked for), so additive
+/// changes do not bump the version; removals or retypings do.
+pub const STATS_SCHEMA_VERSION: u32 = 2;
+
 /// One stage's histogram at snapshot time.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StageSnapshot {
@@ -46,6 +57,9 @@ pub struct QueueSnapshot {
     pub depth: u64,
     /// Highest depth ever observed.
     pub hwm: u64,
+    /// Pops observed while the gauge was already at zero (the gauge
+    /// saturates instead of going negative).
+    pub underflow: u64,
 }
 
 /// One pipeline thread's busy/idle split.
@@ -180,7 +194,7 @@ impl Snapshot {
     /// The machine-readable JSON document (`--stats-json`).
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(4096);
-        out.push_str("{\n  \"stages\": {");
+        out.push_str(&format!("{{\n  \"schema_version\": {STATS_SCHEMA_VERSION},\n  \"stages\": {{"));
         for (i, s) in self.stages.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -224,10 +238,11 @@ impl Snapshot {
                 out.push(',');
             }
             out.push_str(&format!(
-                "\n    \"{}\": {{\"depth\": {}, \"hwm\": {}}}",
+                "\n    \"{}\": {{\"depth\": {}, \"hwm\": {}, \"underflow\": {}}}",
                 q.queue.name(),
                 q.depth,
-                q.hwm
+                q.hwm,
+                q.underflow
             ));
         }
         out.push_str("\n  },\n  \"workers\": [");
@@ -339,6 +354,7 @@ mod tests {
         r.queue_push(Queue::Jobs);
         r.worker_report(WorkerRole::Chunker, 0, Duration::from_millis(1), Duration::ZERO);
         let doc = json::parse(&r.snapshot().to_json()).expect("snapshot JSON parses");
+        assert_eq!(doc.get("schema_version").as_u64(), Some(u64::from(STATS_SCHEMA_VERSION)));
         for stage in Stage::ALL {
             assert!(
                 doc.get("stages").get(stage.name()).get("count").as_u64().is_some(),

@@ -6,7 +6,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 use aadedupe_obs::{
-    bucket_bounds, bucket_index, json, Counter, Queue, Recorder, Stage, BUCKETS,
+    bucket_bounds, bucket_index, json, Counter, Queue, Recorder, Sampler, SamplerConfig, Scope,
+    Stage, BUCKETS,
 };
 
 #[test]
@@ -109,6 +110,48 @@ fn snapshots_taken_while_recording_are_internally_consistent() {
     });
 }
 
+/// Regression test for queue-gauge underflow: pops racing ahead of their
+/// matching pushes (a legal interleaving when producer and consumer report
+/// from different threads) must saturate the gauge at zero — never wrap to
+/// 2^64-1 — and be counted in the underflow diagnostic.
+#[test]
+fn queue_pop_on_empty_gauge_saturates_at_zero() {
+    // Deterministic single-threaded shape first: pop before any push.
+    let rec = Recorder::new();
+    rec.queue_pop(Queue::Shards);
+    rec.queue_pop(Queue::Shards);
+    rec.queue_push(Queue::Shards);
+    let q = rec.snapshot().queue(Queue::Shards);
+    assert_eq!(q.depth, 1, "pushes after spurious pops still count from zero");
+    assert_eq!(q.underflow, 2, "both empty pops recorded");
+
+    // Concurrent mismatched ordering: poppers run unsynchronized against
+    // pushers, so some pops observe an empty gauge. Whatever the
+    // interleaving, depth must end at exactly pushes - matched pops and
+    // never wrap negative.
+    const OPS: u64 = 10_000;
+    let rec = Recorder::new();
+    std::thread::scope(|scope| {
+        for _ in 0..2 {
+            let rec = &rec;
+            scope.spawn(move || {
+                for _ in 0..OPS {
+                    rec.queue_push(Queue::Jobs);
+                }
+            });
+            scope.spawn(move || {
+                for _ in 0..OPS {
+                    rec.queue_pop(Queue::Jobs);
+                }
+            });
+        }
+    });
+    let q = rec.snapshot().queue(Queue::Jobs);
+    // pushes = 2*OPS; pops that found the gauge non-empty = 2*OPS - underflow.
+    assert_eq!(q.depth, q.underflow, "depth = pushes - (pops - underflow)");
+    assert!(q.depth < u64::MAX / 2, "gauge never wrapped negative");
+}
+
 #[test]
 fn queue_gauges_track_high_water_marks_under_contention() {
     let rec = Recorder::new();
@@ -172,7 +215,16 @@ fn ndjson_trace_events_are_well_formed() {
 /// the disabled path — not on a noisy CI machine.
 #[test]
 fn overhead_guard() {
-    let rec = Recorder::disabled();
+    let rec = Recorder::shared_disabled();
+    // The sampler is compiled in and attached, but the recorder is
+    // disabled: spawn must cost one relaxed load, start no thread, and
+    // leave the budget below untouched.
+    let sampler = Sampler::spawn(
+        std::sync::Arc::clone(&rec),
+        Scope::session("overhead-guard"),
+        SamplerConfig::default(),
+    );
+    assert!(sampler.is_inert(), "disabled recorder must yield an inert sampler");
     const ITERS: u64 = 1_000_000;
     // Warm-up pass so lazy init / cache effects don't bill the timed loop.
     for _ in 0..10_000 {
@@ -194,8 +246,9 @@ fn overhead_guard() {
         per_iter < 500.0,
         "disabled recorder costs {per_iter:.0} ns per 7-call iteration (budget 500 ns)"
     );
-    // And it really recorded nothing.
+    // And it really recorded nothing — recorder and sampler alike.
     let s = rec.snapshot();
     assert_eq!(s.stage(Stage::Chunk).hist.count, 0);
     assert_eq!(s.counter(Counter::ChunkBytes), 0);
+    assert!(sampler.stop().is_empty(), "inert sampler sampled nothing");
 }
