@@ -32,9 +32,9 @@ use aadedupe_chunking::{CdcAlgorithm, Chunker, ContentChunker, DEFAULT_CDC};
 use aadedupe_cloud::CloudSim;
 use aadedupe_core::{
     restore_session_pipelined, AaDedupe, AaDedupeConfig, BackupScheme, PipelineConfig,
-    PipelineMode, RestoreOptions, RetryPolicy,
+    PipelineMode, RestoreOptions, RetentionPolicy, RetryPolicy, VacuumOptions,
 };
-use aadedupe_filetype::SourceFile;
+use aadedupe_filetype::{MemoryFile, SourceFile};
 use aadedupe_obs::json::{self, Value};
 use aadedupe_obs::{Queue, Recorder, Stage};
 use aadedupe_workload::{DatasetSpec, Generator};
@@ -231,6 +231,77 @@ fn bench_e2e(cfg: &RunConfig) -> String {
     )
 }
 
+/// Vacuum bench: a churned multi-session repository under keep-last
+/// retention, timing the full analyze/rewrite/commit pass. Reports
+/// reclaimed MiB/s (the pass's productive throughput) and the reclaimed
+/// fraction of stored bytes — both higher-is-better trajectory metrics.
+fn bench_vacuum(cfg: &RunConfig) -> String {
+    const SESSIONS: usize = 8;
+    const KEEP: usize = 3;
+    // Per-session churn corpus: a stable core every session shares, a
+    // cumulative journal whose new tail stays live forever, and a same-
+    // stream scratch file only this session references. Journal tail and
+    // scratch are both new bytes in one app stream, so the packer
+    // interleaves them — pruned sessions leave dead scratch chunks
+    // *inside* containers the retained sessions still reference: the
+    // rewrite case vacuum exists for, not just whole-container deletes.
+    let per_session = ((cfg.mb << 20) / SESSIONS).max(1 << 20);
+    let session_files = |s: usize| -> Vec<MemoryFile> {
+        let stable = per_session / 4;
+        let append = per_session / 8;
+        let scratch = per_session - stable - append;
+        let mut journal = Vec::with_capacity(append * (s + 1));
+        for gen in 0..=s {
+            journal.extend((0..append).map(|i| (i.wrapping_mul(gen + 7) % 239) as u8));
+        }
+        vec![
+            MemoryFile::new(
+                "user/vmdk/base.vmdk",
+                (0..stable).map(|i| (i % 241) as u8).collect::<Vec<u8>>(),
+            ),
+            MemoryFile::new("user/txt/journal.txt", journal),
+            MemoryFile::new(
+                format!("user/txt/scratch-{s:03}.txt"),
+                (0..scratch).map(|i| (i.wrapping_mul(s + 11) % 251) as u8).collect::<Vec<u8>>(),
+            ),
+        ]
+    };
+    let run_once = || {
+        let cloud = CloudSim::with_paper_defaults();
+        let mut engine = AaDedupe::with_config(
+            cloud,
+            AaDedupeConfig { pipeline: PipelineConfig::with_workers(4), ..AaDedupeConfig::default() },
+        );
+        for s in 0..SESSIONS {
+            let files = session_files(s);
+            let sources: Vec<&dyn SourceFile> = files.iter().map(|f| f as &dyn SourceFile).collect();
+            engine.backup_session(&sources).expect("backup");
+        }
+        engine.apply_retention(&RetentionPolicy::KeepLast(KEEP)).expect("retention");
+        let start = Instant::now();
+        let report = engine.vacuum(&VacuumOptions::default()).expect("vacuum");
+        (start.elapsed().as_secs_f64(), report)
+    };
+    let (_, report) = run_once();
+    let secs = best_of(cfg.reps, || run_once().0);
+    let fraction = report.bytes_reclaimed as f64 / report.stored_bytes_before.max(1) as f64;
+
+    eprintln!(
+        "  vacuum: {:.2} MiB/s reclaimed, {:.1}% of stored bytes, {} containers rewritten",
+        mib_per_s(report.bytes_reclaimed as usize, secs),
+        fraction * 100.0,
+        report.containers_rewritten
+    );
+    format!(
+        "{{\"metrics\": {{\"reclaimed_mib_s\": {:.2}, \"reclaimed_fraction\": {:.4}}}, \"detail\": {{\"sessions\": {SESSIONS}, \"keep\": {KEEP}, \"containers_rewritten\": {}, \"containers_deleted\": {}, \"relocations\": {}}}}}",
+        mib_per_s(report.bytes_reclaimed as usize, secs),
+        fraction,
+        report.containers_rewritten,
+        report.containers_deleted,
+        report.relocations
+    )
+}
+
 fn cmd_run(quick: bool, label: &str, out: Option<String>) -> ExitCode {
     let cfg = RunConfig::new(quick);
     eprintln!(
@@ -242,6 +313,7 @@ fn cmd_run(quick: bool, label: &str, out: Option<String>) -> ExitCode {
         ("restore", bench_restore(&cfg)),
         ("chunking", bench_chunking(&cfg)),
         ("e2e", bench_e2e(&cfg)),
+        ("vacuum", bench_vacuum(&cfg)),
     ];
     let mut doc = format!(
         "{{\n  \"schema_version\": {BENCH_SCHEMA_VERSION},\n  \"label\": \"{label}\",\n  \"quick\": {},\n  \"machine\": {},\n  \"config\": {{\"workload_mib\": {}, \"reps\": {}, \"max_workers\": {}}},\n  \"benches\": {{\n",

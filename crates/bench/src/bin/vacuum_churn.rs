@@ -1,0 +1,124 @@
+//! Reclaimed bytes vs. churn: the longitudinal vacuum figure.
+//!
+//! Grows a 20-session corpus at several churn levels (the fraction of
+//! each session's bytes that are session-unique rather than shared with
+//! every other session), applies keep-last-5 retention, runs one vacuum
+//! pass, and reports how much of the stored space came back — split into
+//! what retention's own whole-container deletes reclaimed and what the
+//! vacuum rewrite added on top. The paper never needed this figure (its
+//! evaluation is append-only), but any deployed backup service does:
+//! space does not return on its own.
+//!
+//! Run: `cargo run --release -p aadedupe-bench --bin vacuum_churn`
+//! (`AA_EVAL_MB` scales the corpus; `AA_SESSIONS` the session count.)
+
+use std::sync::Arc;
+
+use aadedupe_bench::{fmt_bytes, print_table, EvalConfig};
+use aadedupe_cloud::{CloudSim, ObjectBackend, ObjectStore, PriceModel, WanModel};
+use aadedupe_core::{
+    AaDedupe, AaDedupeConfig, BackupScheme, PipelineConfig, RetentionPolicy, VacuumOptions,
+};
+use aadedupe_filetype::{MemoryFile, SourceFile};
+
+const KEEP: usize = 5;
+
+/// One session at a given churn level. Every session appends to a
+/// cumulative journal (those tail chunks stay live forever) and writes a
+/// same-stream scratch file that only this session references. Both are
+/// new bytes in the same app stream, so the packer interleaves them into
+/// the same containers — when retention later kills the scratch chunks,
+/// the dead bytes are stranded next to live journal bytes and only a
+/// vacuum rewrite can reclaim them. `churn` is the scratch share.
+fn session_files(
+    session: usize,
+    per_session_bytes: u64,
+    churn: f64,
+    seed: u64,
+) -> Vec<MemoryFile> {
+    let scratch = (per_session_bytes as f64 * churn) as usize;
+    let append = per_session_bytes as usize - scratch;
+    let fill = |n: usize, salt: u64| -> Vec<u8> {
+        (0..n).map(|i| ((i as u64).wrapping_mul(salt | 1).wrapping_add(salt >> 5) % 251) as u8).collect()
+    };
+    let mut journal = Vec::with_capacity(append * (session + 1));
+    for s in 0..=session {
+        journal.extend(fill(append, seed ^ (s as u64).wrapping_mul(0x517C_C1B7)));
+    }
+    vec![
+        MemoryFile::new("user/txt/journal.txt", journal),
+        MemoryFile::new(
+            format!("user/txt/scratch-{session:03}.txt"),
+            fill(scratch, !seed ^ (session as u64 + 1).wrapping_mul(0x9E37_79B9)),
+        ),
+    ]
+}
+
+fn main() {
+    let cfg = EvalConfig::from_env();
+    let sessions = cfg.sessions.max(KEEP + 1);
+    let per_session = (cfg.dataset_bytes / sessions as u64).max(1 << 20);
+    println!(
+        "Vacuum reclaim vs. churn — {sessions} sessions of {} each, keep-last {KEEP}, \
+         vacuum ratio {}",
+        fmt_bytes(per_session),
+        VacuumOptions::default().ratio
+    );
+
+    let mut rows = Vec::new();
+    for churn in [0.10, 0.25, 0.50, 0.75] {
+        let inner = Arc::new(ObjectStore::new());
+        let cloud = CloudSim::with_backend(
+            Arc::clone(&inner) as Arc<dyn ObjectBackend>,
+            WanModel::paper_defaults(),
+            PriceModel::s3_april_2011(),
+        );
+        let mut engine = AaDedupe::with_config(
+            cloud,
+            AaDedupeConfig {
+                pipeline: PipelineConfig::with_workers(2),
+                ..AaDedupeConfig::default()
+            },
+        );
+        for s in 0..sessions {
+            let files = session_files(s, per_session, churn, cfg.seed);
+            let sources: Vec<&dyn SourceFile> =
+                files.iter().map(|f| f as &dyn SourceFile).collect();
+            engine.backup_session(&sources).expect("backup");
+        }
+        let before = inner.stored_bytes();
+        engine.apply_retention(&RetentionPolicy::KeepLast(KEEP)).expect("retention");
+        let after_retention = inner.stored_bytes();
+        let report = engine.vacuum(&VacuumOptions::default()).expect("vacuum");
+        let after_vacuum = inner.stored_bytes();
+        rows.push(vec![
+            format!("{:.0}%", churn * 100.0),
+            fmt_bytes(before),
+            fmt_bytes(before - after_retention),
+            fmt_bytes(after_retention - after_vacuum),
+            format!("{:.1}%", 100.0 * (before - after_vacuum) as f64 / before as f64),
+            report.containers_rewritten.to_string(),
+            report.relocations.to_string(),
+        ]);
+    }
+    print_table(
+        "Reclaimed space after keep-last-5 retention + one vacuum pass",
+        &[
+            "churn",
+            "stored before",
+            "retention reclaim",
+            "vacuum reclaim",
+            "total reclaimed",
+            "rewritten",
+            "relocations",
+        ],
+        &rows,
+    );
+    println!(
+        "\nshape: retention's own deletes only reclaim containers that died whole, so \
+         its share grows with churn; the vacuum share is the dead bytes stranded next \
+         to live journal bytes and peaks at mid churn — below that containers stay \
+         above the 0.5 liveness bar, above it scratch fills whole containers that die \
+         on their own. Every retained session stays bit-exact (tests/vacuum.rs)."
+    );
+}

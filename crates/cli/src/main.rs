@@ -13,6 +13,10 @@
 //! aabackup restore-file --repo <dir> [--workers N] <session> <path> <out-file>
 //! aabackup sessions --repo <dir>                  list sessions
 //! aabackup delete  --repo <dir> <session>         delete + reclaim space
+//! aabackup vacuum  --repo <dir> [--ratio <f>] [--dry-run]
+//!                                                 rewrite sparse containers
+//! aabackup retention --repo <dir> (--keep-last N | --gfs D,W,M) [--vacuum]
+//!                                                 prune sessions by policy
 //! aabackup stats   --repo <dir>                   repository statistics
 //! ```
 
@@ -27,7 +31,8 @@ use std::time::Duration;
 use aadedupe_chunking::CdcAlgorithm;
 use aadedupe_cloud::{CloudSim, FsObjectStore, PriceModel, WanModel};
 use aadedupe_core::{
-    AaDedupe, AaDedupeConfig, BackupScheme, PipelineConfig, RestoreOptions, RetryPolicy,
+    AaDedupe, AaDedupeConfig, BackupScheme, PipelineConfig, RestoreOptions, RetentionPolicy,
+    RetryPolicy, VacuumOptions,
 };
 use aadedupe_obs::{Recorder, Sampler, SamplerConfig, Scope};
 
@@ -36,7 +41,7 @@ use source::walk_directory;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  aabackup backup  --repo <dir> [--workers N] [--chunker rabin|fastcdc] [--stats] [--stats-json <file>] [--trace <file>]\n                   [--metrics <file>] [--metrics-interval-ms N] [--progress] <source-dir>\n  aabackup restore --repo <dir> [--workers N] [--stats] [--stats-json <file>]\n                   [--metrics <file>] [--metrics-interval-ms N] [--progress] <session> <out-dir>\n  aabackup restore-file --repo <dir> [--workers N] <session> <path> <out-file>\n  aabackup sessions --repo <dir>\n  aabackup delete  --repo <dir> <session>\n  aabackup stats   --repo <dir>"
+        "usage:\n  aabackup backup  --repo <dir> [--workers N] [--chunker rabin|fastcdc] [--stats] [--stats-json <file>] [--trace <file>]\n                   [--metrics <file>] [--metrics-interval-ms N] [--progress] <source-dir>\n  aabackup restore --repo <dir> [--workers N] [--stats] [--stats-json <file>]\n                   [--metrics <file>] [--metrics-interval-ms N] [--progress] <session> <out-dir>\n  aabackup restore-file --repo <dir> [--workers N] <session> <path> <out-file>\n  aabackup sessions --repo <dir>\n  aabackup delete  --repo <dir> <session>\n  aabackup vacuum  --repo <dir> [--ratio <f>] [--dry-run]\n  aabackup retention --repo <dir> (--keep-last N | --gfs D,W,M) [--vacuum]\n  aabackup stats   --repo <dir>"
     );
     ExitCode::from(2)
 }
@@ -124,6 +129,43 @@ fn take_u64(args: &mut Vec<String>, flag: &str) -> Result<Option<u64>, ()> {
     let value = args.remove(i + 1);
     args.remove(i);
     value.parse::<u64>().map(Some).map_err(|_| ())
+}
+
+/// Splits `<flag> <f>` (a ratio in `0.0..=1.0`) out of the argument list.
+/// `Err` means the flag was present but its value was missing, non-numeric
+/// or out of range.
+fn take_ratio(args: &mut Vec<String>, flag: &str) -> Result<Option<f64>, ()> {
+    let Some(i) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    if i + 1 >= args.len() {
+        return Err(());
+    }
+    let value = args.remove(i + 1);
+    args.remove(i);
+    match value.parse::<f64>() {
+        Ok(f) if (0.0..=1.0).contains(&f) => Ok(Some(f)),
+        _ => Err(()),
+    }
+}
+
+/// Splits `--gfs D,W,M` out of the argument list. `Err` means the flag was
+/// present but its value was missing or not three comma-separated counts.
+fn take_gfs(args: &mut Vec<String>) -> Result<Option<(usize, usize, usize)>, ()> {
+    let Some(i) = args.iter().position(|a| a == "--gfs") else {
+        return Ok(None);
+    };
+    if i + 1 >= args.len() {
+        return Err(());
+    }
+    let value = args.remove(i + 1);
+    args.remove(i);
+    let parts: Vec<&str> = value.split(',').collect();
+    let [d, w, m] = parts.as_slice() else { return Err(()) };
+    match (d.parse(), w.parse(), m.parse()) {
+        (Ok(d), Ok(w), Ok(m)) => Ok(Some((d, w, m))),
+        _ => Err(()),
+    }
 }
 
 /// Observability outputs requested on the command line.
@@ -398,6 +440,63 @@ fn cmd_delete(repo: &Path, session: usize) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs a vacuum pass on an already-open engine and prints the report;
+/// shared by `vacuum` and `retention --vacuum`.
+fn run_vacuum(engine: &mut AaDedupe, ratio: f64, dry_run: bool) -> Result<(), String> {
+    let cost_before = engine.cloud().monthly_cost().storage;
+    let opts = VacuumOptions { ratio, dry_run, ..VacuumOptions::default() };
+    let report = engine.vacuum(&opts).map_err(|e| format!("vacuum failed: {e}"))?;
+    let verb = if report.dry_run { "would rewrite" } else { "rewrote" };
+    println!(
+        "vacuum (ratio {ratio}): {verb} {} of {} containers into {}, {} deleted, {} manifests repointed",
+        report.containers_rewritten,
+        report.containers_total,
+        report.containers_created,
+        report.containers_deleted,
+        report.manifests_rewritten
+    );
+    println!(
+        "  {} {} across {} chunk relocations",
+        if report.dry_run { "would reclaim" } else { "reclaimed" },
+        human(report.bytes_reclaimed),
+        report.relocations
+    );
+    if !report.dry_run {
+        let cost_after = engine.cloud().monthly_cost().storage;
+        println!(
+            "  stored {} -> {} | S3 storage cost ${:.4}/mo -> ${:.4}/mo",
+            human(report.stored_bytes_before),
+            human(report.stored_bytes_after),
+            cost_before,
+            cost_after
+        );
+    }
+    Ok(())
+}
+
+fn cmd_vacuum(repo: &Path, ratio: f64, dry_run: bool) -> Result<(), String> {
+    let mut engine = open_engine(repo, 1, CdcAlgorithm::Rabin, None)?;
+    run_vacuum(&mut engine, ratio, dry_run)
+}
+
+fn cmd_retention(
+    repo: &Path,
+    policy: &RetentionPolicy,
+    vacuum_after: bool,
+) -> Result<(), String> {
+    let mut engine = open_engine(repo, 1, CdcAlgorithm::Rabin, None)?;
+    let report =
+        engine.apply_retention(policy).map_err(|e| format!("retention failed: {e}"))?;
+    println!(
+        "retention: examined {} sessions, retained {}, deleted {}",
+        report.examined, report.retained, report.deleted
+    );
+    if vacuum_after {
+        run_vacuum(&mut engine, VacuumOptions::default().ratio, false)?;
+    }
+    Ok(())
+}
+
 fn cmd_stats(repo: &Path) -> Result<(), String> {
     let engine = open_engine(repo, 1, CdcAlgorithm::Rabin, None)?;
     let store = engine.cloud().store();
@@ -451,6 +550,11 @@ fn main() -> ExitCode {
         return usage();
     };
     let progress = take_flag(&mut args, "--progress");
+    let Ok(ratio) = take_ratio(&mut args, "--ratio") else { return usage() };
+    let dry_run = take_flag(&mut args, "--dry-run");
+    let Ok(keep_last) = take_u64(&mut args, "--keep-last") else { return usage() };
+    let Ok(gfs) = take_gfs(&mut args) else { return usage() };
+    let vacuum_after = take_flag(&mut args, "--vacuum");
     let obs = ObsArgs {
         stats,
         stats_json,
@@ -474,6 +578,20 @@ fn main() -> ExitCode {
         ("delete", [session]) => match session.parse() {
             Ok(s) => cmd_delete(&repo, s),
             Err(_) => return usage(),
+        },
+        ("vacuum", []) => {
+            cmd_vacuum(&repo, ratio.unwrap_or(VacuumOptions::default().ratio), dry_run)
+        }
+        ("retention", []) => match (keep_last, gfs) {
+            (Some(n), None) => {
+                cmd_retention(&repo, &RetentionPolicy::KeepLast(n as usize), vacuum_after)
+            }
+            (None, Some((d, w, m))) => cmd_retention(
+                &repo,
+                &RetentionPolicy::Gfs { daily: d, weekly: w, monthly: m },
+                vacuum_after,
+            ),
+            _ => return usage(),
         },
         ("stats", []) => cmd_stats(&repo),
         _ => return usage(),

@@ -30,8 +30,8 @@ pub mod store;
 pub use builder::ContainerBuilder;
 pub use format::{ChunkDescriptor, ContainerError, ParsedContainer, CONTAINER_MAGIC};
 pub use store::{
-    compose_id, decompose_id, ContainerStore, Placement, SealedContainer, StoreStats,
-    STREAM_ID_SHIFT,
+    compact_container, compact_container_bytes, compose_id, decompose_id, CompactedContainer,
+    ContainerStore, Placement, SealedContainer, StoreStats, STREAM_ID_SHIFT,
 };
 
 /// Default fixed container size: 1 MiB (paper §III.F).

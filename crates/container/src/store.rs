@@ -141,6 +141,14 @@ impl ContainerStore {
         Self::mint_id(&mut self.next_seq, self.seq_floor, stream)
     }
 
+    /// Mints a fresh container id for `stream` without opening a builder —
+    /// the naming hook for compaction: vacuum needs ids for rewritten
+    /// containers that stay monotonic and can never collide with ids a
+    /// later backup session mints from the same store.
+    pub fn mint_container_id(&mut self, stream: u32) -> u64 {
+        self.fresh_id(stream)
+    }
+
     /// Field-level id minting so [`add_chunk`](Self::add_chunk) can mint
     /// inside an `open.entry()` closure (disjoint field borrows).
     fn mint_id(next_seq: &mut BTreeMap<u32, u64>, seq_floor: u64, stream: u32) -> u64 {
@@ -476,6 +484,17 @@ mod tests {
         let p4 = store.add_chunk(4, fp(b"d"), b"d");
         assert_eq!(decompose_id(p3.container), (3, 17));
         assert_eq!(decompose_id(p4.container), (4, 0), "other streams unaffected");
+    }
+
+    #[test]
+    fn minted_ids_interleave_with_appends_without_collision() {
+        let mut store = ContainerStore::new(4096);
+        let m1 = store.mint_container_id(2);
+        let p = store.add_chunk(2, fp(b"x"), b"x");
+        let m2 = store.mint_container_id(2);
+        assert_eq!(decompose_id(m1), (2, 0));
+        assert_eq!(decompose_id(p.container), (2, 1));
+        assert_eq!(decompose_id(m2), (2, 2));
     }
 
     #[test]

@@ -190,28 +190,34 @@ impl AaDedupeConfig {
 
 /// Stream id used for the tiny-file container stream; application streams
 /// use the application tag (1..=13).
-const TINY_STREAM: u32 = 0;
+pub(crate) const TINY_STREAM: u32 = 0;
 
 /// The AA-Dedupe backup client.
+///
+/// Field visibility is `pub(crate)`: the vacuum pass
+/// ([`crate::vacuum`]) and retention policies ([`crate::retention`])
+/// are sibling modules operating on the same GC state (refcounts, index
+/// placements, container ids) under the same crash-consistency
+/// invariants.
 pub struct AaDedupe {
-    config: AaDedupeConfig,
-    cloud: CloudSim,
-    index: AppAwareIndex,
-    containers: ContainerStore,
-    sessions: usize,
+    pub(crate) config: AaDedupeConfig,
+    pub(crate) cloud: CloudSim,
+    pub(crate) index: AppAwareIndex,
+    pub(crate) containers: ContainerStore,
+    pub(crate) sessions: usize,
     /// Live-chunk count per container (deletion support: a container whose
     /// count reaches zero is removed from the cloud).
-    container_live: HashMap<u64, u64>,
+    pub(crate) container_live: HashMap<u64, u64>,
     /// Tiny-file incrementality: path -> (change token, last placement).
     /// Tiny files bypass the chunk *index* (the paper's size filter), but
     /// the client still skips re-packing unchanged ones, Cumulus-style.
     /// Not persisted: after [`AaDedupe::open`] the first session re-packs
     /// tiny files once.
-    tiny_seen: HashMap<String, (u64, ChunkRef)>,
+    pub(crate) tiny_seen: HashMap<String, (u64, ChunkRef)>,
     /// Set when a session failed mid-upload: the in-memory index may then
     /// reference chunks that never reached the cloud, so further backups
     /// from this instance are refused (reopen from the cloud instead).
-    poisoned: Option<String>,
+    pub(crate) poisoned: Option<String>,
     /// Containers garbage-collected by the orphan sweep in
     /// [`AaDedupe::open`].
     orphans_swept: u64,
@@ -221,7 +227,7 @@ pub struct AaDedupe {
     /// reopen reclaims them too.
     ///
     /// [`delete_session`]: AaDedupe::delete_session
-    sweep_debt: Vec<u64>,
+    pub(crate) sweep_debt: Vec<u64>,
 }
 
 /// The result of chunk+hash over one file.
@@ -897,12 +903,43 @@ impl AaDedupe {
         manifest
     }
 
+    /// Checks that every container `manifest` references has a live
+    /// refcount — the precondition [`release_manifest_refs`] relies on.
+    /// Runs *before* the un-commit point so a desynchronised engine (e.g.
+    /// one recovered without rebuilding refcounts) surfaces a typed
+    /// [`BackupError::Corrupt`] with nothing mutated, instead of the
+    /// panic this used to be.
+    ///
+    /// [`release_manifest_refs`]: AaDedupe::release_manifest_refs
+    fn validate_manifest_refs(
+        &self,
+        session: usize,
+        manifest: &Manifest,
+    ) -> Result<(), BackupError> {
+        for f in &manifest.files {
+            for c in &f.chunks {
+                if !self.container_live.contains_key(&c.container) {
+                    return Err(BackupError::Corrupt(format!(
+                        "session {session}: manifest references container {:012} with no \
+                         live refcount — in-memory GC state is out of sync with the cloud \
+                         (recover or reopen the engine first)",
+                        c.container
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Drops one manifest's references from the in-memory index and the
     /// per-container refcounts, returning the containers left with no live
     /// chunks. Infallible by design: it runs after the manifest delete —
     /// the un-commit point — so nothing here may abort the deletion
-    /// half-done. Tiny-file chunks are unindexed, so their container slots
-    /// are released directly.
+    /// half-done; [`validate_manifest_refs`] establishes the refcount
+    /// precondition beforehand. Tiny-file chunks are unindexed, so their
+    /// container slots are released directly.
+    ///
+    /// [`validate_manifest_refs`]: AaDedupe::validate_manifest_refs
     fn release_manifest_refs(&mut self, manifest: &Manifest) -> Vec<u64> {
         let mut dead = Vec::new();
         for f in &manifest.files {
@@ -912,10 +949,12 @@ impl AaDedupe {
                     // reference (removed from the index at zero).
                     self.index.release(f.app, &c.fingerprint);
                 }
-                let live = self
-                    .container_live
-                    .get_mut(&c.container)
-                    .expect("container of a live manifest"); // aalint: allow(unwrap-in-lib) -- commit maintains a refcount for every container a live manifest references
+                // Validated before the un-commit point; a slot that still
+                // vanishes mid-release means the container already hit
+                // zero via an earlier reference and was reclaimed below.
+                let Some(live) = self.container_live.get_mut(&c.container) else {
+                    continue;
+                };
                 *live = live.saturating_sub(1);
                 if *live == 0 {
                     self.container_live.remove(&c.container);
@@ -943,6 +982,7 @@ impl AaDedupe {
         let (bytes, _t) = self.cloud.get(&key)?;
         let bytes = bytes.ok_or(BackupError::UnknownSession(session))?;
         let manifest = Manifest::decode(&bytes)?;
+        self.validate_manifest_refs(session, &manifest)?;
         self.cloud.delete(&key)?;
         let mut reclaim = std::mem::take(&mut self.sweep_debt);
         reclaim.extend(self.release_manifest_refs(&manifest));
@@ -965,6 +1005,19 @@ impl AaDedupe {
 
     /// Rebuilds the in-memory index from the latest cloud snapshot — the
     /// disaster-recovery path the paper's periodic synchronisation enables.
+    ///
+    /// The snapshot is only an *accelerator* and can be stale in both
+    /// directions: [`delete_session`](AaDedupe::delete_session) never
+    /// uploads a fresh one (so it resurrects fingerprints of deleted
+    /// chunks, and a backup deduping against them would commit a silently
+    /// unrestorable session), and sessions after the last sync are absent
+    /// from it. The committed manifests are the source of truth, so after
+    /// decoding the snapshot this reconciles every partition against them
+    /// — pruning resurrected entries, correcting refcounts and
+    /// placements, adding missing entries — and rebuilds the
+    /// per-container refcounts exactly as [`AaDedupe::open`] does (without
+    /// them, the first post-recovery delete used to die on a refcount
+    /// panic).
     pub fn recover_index_from_cloud(&mut self) -> Result<(), BackupError> {
         let keys = self.cloud.store().list(&format!("{}/index/", self.config.scheme_key));
         let latest = keys.last().ok_or_else(|| {
@@ -975,10 +1028,53 @@ impl AaDedupe {
         self.index = codec::decode_app_aware(&bytes, self.config.ram_entries_per_partition)
             .map_err(|e| BackupError::Corrupt(format!("index snapshot: {e}")))?;
         self.index.set_recorder(Arc::clone(&self.config.recorder));
+
+        // Reconcile against the manifests: exact per-app entries (first
+        // placement wins, one refcount per reference — the same fold as
+        // `open`) and exact per-container live counts.
+        let mut live: Vec<BTreeMap<Fingerprint, ChunkEntry>> =
+            AppType::ALL.iter().map(|_| BTreeMap::new()).collect();
+        let mut container_live: HashMap<u64, u64> = HashMap::new();
+        let mut max_session: Option<u64> = None;
+        let prefix = format!("{}/manifests/", self.config.scheme_key);
+        for key in self.cloud.store().list(&prefix) {
+            let (bytes, _t) = self.cloud.get(&key)?;
+            let bytes = bytes.ok_or_else(|| BackupError::MissingObject(key.clone()))?;
+            let manifest = Manifest::decode(&bytes)?;
+            max_session = Some(max_session.map_or(manifest.session, |m| m.max(manifest.session)));
+            for f in &manifest.files {
+                for c in &f.chunks {
+                    *container_live.entry(c.container).or_insert(0) += 1;
+                    if !f.tiny {
+                        live[(f.app.tag() - 1) as usize]
+                            .entry(c.fingerprint)
+                            .and_modify(|e| e.refcount = e.refcount.saturating_add(1))
+                            .or_insert_with(|| {
+                                ChunkEntry::new(c.len as u64, c.container, c.offset)
+                            });
+                    }
+                }
+            }
+        }
+        for (i, app) in AppType::ALL.iter().enumerate() {
+            self.index.partition(*app).reconcile(std::mem::take(&mut live[i]));
+        }
+        self.container_live = container_live;
+        // Post-recovery state matches the cloud exactly, so the stale
+        // tiny-file cache and the poison flag are cleared (sweep debt is
+        // kept: those containers are unreferenced garbage in the cloud
+        // whether or not a disaster happened in between); the container
+        // store restarts fresh with its ids resumed past every id ever
+        // visible in the namespace.
+        self.tiny_seen.clear();
+        self.poisoned = None;
+        let mut containers = ContainerStore::new(self.config.container_size);
+        containers.set_recorder(Arc::clone(&self.config.recorder));
+        self.containers = containers;
         // The session counter must survive the disaster too: continue after
         // the last committed manifest, exactly as `open` does. Without this
         // the next backup would reuse session 0 and clobber its manifest.
-        self.sessions = self.list_sessions().into_iter().max().map_or(0, |m| m + 1);
+        self.sessions = max_session.map_or(0, |m| m as usize + 1);
         self.resume_container_ids();
         Ok(())
     }
@@ -991,7 +1087,7 @@ impl AaDedupe {
     /// `op_seq` feeds the deterministic jitter. Exhausting the attempts or
     /// the budget, or any permanent failure, counts an upload give-up and
     /// surfaces the backend error.
-    fn put_with_retry(
+    pub(crate) fn put_with_retry(
         &self,
         key: &str,
         bytes: &[u8],

@@ -25,9 +25,11 @@
 pub mod engine;
 pub mod recipe;
 pub mod restore;
+pub mod retention;
 pub mod retry;
 pub mod scheme;
 pub mod timing;
+pub mod vacuum;
 
 pub use engine::{AaDedupe, AaDedupeConfig, PipelineConfig, PipelineMode};
 pub use recipe::{ChunkRef, FileRecipe, Manifest};
@@ -35,5 +37,7 @@ pub use restore::{
     restore_file_pipelined, restore_session, restore_session_pipelined, RestoreOptions,
     RestoredFile,
 };
+pub use retention::{RetentionPolicy, RetentionReport};
 pub use retry::RetryPolicy;
 pub use scheme::{BackupError, BackupScheme};
+pub use vacuum::{VacuumOptions, VacuumReport};

@@ -156,6 +156,58 @@ impl IndexPartition {
         }
     }
 
+    /// Repoints an entry at a new `(container, offset)` placement while
+    /// preserving its length and reference count — the vacuum relocation
+    /// primitive. Like [`IndexPartition::bump_or_insert`] this models a
+    /// state mutation, not a query: no cache or statistics accounting.
+    /// Returns false (and changes nothing) if the fingerprint is absent.
+    pub fn update_placement(&self, fp: &Fingerprint, container: u64, offset: u32) -> bool {
+        let mut g = self.inner.lock();
+        match g.map.get_mut(fp) {
+            Some(entry) => {
+                entry.container = container;
+                entry.offset = offset;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Replaces the partition's contents with exactly `entries` — the
+    /// recovery reconciliation primitive. Entries absent from `entries`
+    /// are pruned (a stale snapshot resurrected them), present ones take
+    /// the given refcount/placement verbatim. Returns `(pruned, added)`
+    /// counts relative to the previous contents.
+    pub fn reconcile(
+        &self,
+        entries: impl IntoIterator<Item = (Fingerprint, ChunkEntry)>,
+    ) -> (usize, usize) {
+        let mut g = self.inner.lock();
+        let before = g.map.len();
+        let mut kept = 0usize;
+        let mut added = 0usize;
+        let mut next: HashMap<Fingerprint, ChunkEntry> = HashMap::new();
+        for (fp, e) in entries {
+            if g.map.contains_key(&fp) {
+                kept += 1;
+            } else {
+                added += 1;
+            }
+            next.insert(fp, e);
+            g.ram.insert(fp);
+        }
+        let mut stale: Vec<Fingerprint> = g.map.keys().copied().collect();
+        stale.sort_unstable();
+        for fp in stale {
+            if !next.contains_key(&fp) {
+                g.ram.remove(&fp);
+            }
+        }
+        let pruned = before - kept;
+        g.map = next;
+        (pruned, added)
+    }
+
     /// Decrements the reference count; removes and returns the entry when
     /// it reaches zero.
     pub fn release(&self, fp: &Fingerprint) -> Option<ChunkEntry> {
@@ -308,6 +360,40 @@ mod tests {
         for (f, e) in dumped {
             assert_eq!(q.lookup(&f).map(|x| (x.len, x.container)), Some((e.len, e.container)));
         }
+    }
+
+    #[test]
+    fn update_placement_preserves_len_and_refcount() {
+        let p = IndexPartition::new(100);
+        p.insert(fp(1), ChunkEntry::new(10, 7, 3));
+        p.lookup(&fp(1)); // refcount 2
+        assert!(p.update_placement(&fp(1), 42, 99));
+        let e = p.lookup(&fp(1)).unwrap(); // refcount 3
+        assert_eq!((e.len, e.container, e.offset), (10, 42, 99));
+        assert!(p.release(&fp(1)).is_none());
+        assert!(p.release(&fp(1)).is_none());
+        assert!(p.release(&fp(1)).is_some(), "refcount survived the move");
+        assert!(!p.update_placement(&fp(1), 0, 0), "absent fp is a no-op");
+    }
+
+    #[test]
+    fn reconcile_prunes_fixes_and_adds() {
+        let p = IndexPartition::new(100);
+        p.insert(fp(1), ChunkEntry::new(10, 0, 0)); // stays, refcount corrected
+        p.insert(fp(2), ChunkEntry::new(20, 0, 16)); // pruned (stale)
+        let mut truth = ChunkEntry::new(10, 5, 0);
+        truth.refcount = 3;
+        let (pruned, added) =
+            p.reconcile([(fp(1), truth), (fp(3), ChunkEntry::new(30, 6, 0))]);
+        assert_eq!((pruned, added), (1, 1));
+        assert_eq!(p.len(), 2);
+        assert!(p.lookup(&fp(2)).is_none());
+        let e = p.lookup(&fp(1)).unwrap(); // refcount now 4
+        assert_eq!(e.container, 5);
+        for _ in 0..3 {
+            assert!(p.release(&fp(1)).is_none(), "reconciled refcount respected");
+        }
+        assert!(p.release(&fp(1)).is_some());
     }
 
     #[test]

@@ -78,11 +78,17 @@ pub enum Stage {
     RestoreVerify,
     /// Reassembling one file from cached containers, in manifest order.
     RestoreAssemble,
+    /// Vacuum: fetching manifests/containers and computing live ratios.
+    VacuumAnalyze,
+    /// Vacuum: repacking surviving chunks into fresh containers.
+    VacuumRewrite,
+    /// Vacuum: the crash-ordered commit (puts, snapshot, deletes).
+    VacuumCommit,
 }
 
 impl Stage {
     /// Every stage, in dataflow order.
-    pub const ALL: [Stage; 11] = [
+    pub const ALL: [Stage; 14] = [
         Stage::Classify,
         Stage::Chunk,
         Stage::Hash,
@@ -94,6 +100,9 @@ impl Stage {
         Stage::RestoreFetch,
         Stage::RestoreVerify,
         Stage::RestoreAssemble,
+        Stage::VacuumAnalyze,
+        Stage::VacuumRewrite,
+        Stage::VacuumCommit,
     ];
 
     /// Stable snake_case name (the JSON key).
@@ -110,6 +119,9 @@ impl Stage {
             Stage::RestoreFetch => "restore_fetch",
             Stage::RestoreVerify => "restore_verify",
             Stage::RestoreAssemble => "restore_assemble",
+            Stage::VacuumAnalyze => "vacuum_analyze",
+            Stage::VacuumRewrite => "vacuum_rewrite",
+            Stage::VacuumCommit => "vacuum_commit",
         }
     }
 }
@@ -167,11 +179,15 @@ pub enum Counter {
     StoredBytes,
     /// Bytes assembled into restored files.
     RestoredBytes,
+    /// Containers rewritten (repacked into fresh ids) by vacuum.
+    ContainersRewritten,
+    /// Stored bytes reclaimed by vacuum (old containers minus rewrites).
+    BytesReclaimed,
 }
 
 impl Counter {
     /// Every counter.
-    pub const ALL: [Counter; 21] = [
+    pub const ALL: [Counter; 23] = [
         Counter::FilesClassified,
         Counter::ChunksCdc,
         Counter::ChunksSc,
@@ -193,6 +209,8 @@ impl Counter {
         Counter::SourceBytes,
         Counter::StoredBytes,
         Counter::RestoredBytes,
+        Counter::ContainersRewritten,
+        Counter::BytesReclaimed,
     ];
 
     /// Stable snake_case name (the JSON key).
@@ -219,6 +237,8 @@ impl Counter {
             Counter::SourceBytes => "source_bytes",
             Counter::StoredBytes => "stored_bytes",
             Counter::RestoredBytes => "restored_bytes",
+            Counter::ContainersRewritten => "containers_rewritten",
+            Counter::BytesReclaimed => "bytes_reclaimed",
         }
     }
 }

@@ -19,8 +19,12 @@ fn rolling_retention_window_preserves_live_sessions() {
         engine.backup_session(&snap.as_sources()).expect("backup");
         snapshots.push(snap);
         // Retention: drop everything older than the KEEP most recent.
+        // Each delete must succeed — the target session was committed
+        // above and is deleted exactly once.
         if week + 1 > KEEP {
-            engine.delete_session(week + 1 - KEEP - 1).ok();
+            engine
+                .delete_session(week + 1 - KEEP - 1)
+                .unwrap_or_else(|e| panic!("week {week}: delete failed: {e}"));
         }
     }
 
