@@ -41,7 +41,7 @@ use source::walk_directory;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  aabackup backup  --repo <dir> [--workers N] [--chunker rabin|fastcdc] [--stats] [--stats-json <file>] [--trace <file>]\n                   [--metrics <file>] [--metrics-interval-ms N] [--progress] <source-dir>\n  aabackup restore --repo <dir> [--workers N] [--stats] [--stats-json <file>]\n                   [--metrics <file>] [--metrics-interval-ms N] [--progress] <session> <out-dir>\n  aabackup restore-file --repo <dir> [--workers N] <session> <path> <out-file>\n  aabackup sessions --repo <dir>\n  aabackup delete  --repo <dir> <session>\n  aabackup vacuum  --repo <dir> [--ratio <f>] [--dry-run]\n  aabackup retention --repo <dir> (--keep-last N | --gfs D,W,M) [--vacuum]\n  aabackup stats   --repo <dir>"
+        "usage:\n  aabackup backup  --repo <dir> [--workers N] [--chunker rabin|fastcdc]\n                   [--index-dir <dir>] [--index-ram <entries>] [--stats] [--stats-json <file>] [--trace <file>]\n                   [--metrics <file>] [--metrics-interval-ms N] [--progress] <source-dir>\n  aabackup restore --repo <dir> [--workers N] [--stats] [--stats-json <file>]\n                   [--metrics <file>] [--metrics-interval-ms N] [--progress] <session> <out-dir>\n  aabackup restore-file --repo <dir> [--workers N] <session> <path> <out-file>\n  aabackup sessions --repo <dir>\n  aabackup delete  --repo <dir> <session>\n  aabackup vacuum  --repo <dir> [--ratio <f>] [--dry-run]\n  aabackup retention --repo <dir> (--keep-last N | --gfs D,W,M) [--vacuum]\n  aabackup stats   --repo <dir>"
     );
     ExitCode::from(2)
 }
@@ -228,10 +228,33 @@ impl ObsArgs {
     }
 }
 
+/// Index storage settings shared by every subcommand: `--index-dir <dir>`
+/// spills index entries beyond the RAM budget to segment files under
+/// `<dir>`, and `--index-ram <entries>` sets the per-partition RAM-cache
+/// budget (defaults to the engine default when absent).
+#[derive(Clone, Default)]
+struct IndexArgs {
+    dir: Option<PathBuf>,
+    ram: Option<u64>,
+}
+
+impl IndexArgs {
+    fn take(args: &mut Vec<String>) -> Result<IndexArgs, ()> {
+        Ok(IndexArgs {
+            dir: take_path(args, "--index-dir")?,
+            ram: match take_u64(args, "--index-ram")? {
+                Some(0) => return Err(()), // a zero-entry cache is a mistake
+                other => other,
+            },
+        })
+    }
+}
+
 fn open_engine(
     repo: &Path,
     workers: usize,
     chunker: CdcAlgorithm,
+    index: &IndexArgs,
     recorder: Option<Arc<Recorder>>,
 ) -> Result<AaDedupe, String> {
     let store =
@@ -252,6 +275,10 @@ fn open_engine(
         retry: RetryPolicy { sleep: true, ..RetryPolicy::default() },
         ..AaDedupeConfig::default()
     };
+    config.index_dir = index.dir.clone();
+    if let Some(ram) = index.ram {
+        config.ram_entries_per_partition = ram as usize;
+    }
     if let Some(rec) = recorder {
         config.recorder = rec;
     }
@@ -263,6 +290,7 @@ fn cmd_backup(
     src: &Path,
     workers: usize,
     chunker: CdcAlgorithm,
+    index: &IndexArgs,
     obs: &ObsArgs,
 ) -> Result<(), String> {
     let rec = if obs.any() {
@@ -274,7 +302,7 @@ fn cmd_backup(
     } else {
         None
     };
-    let mut engine = open_engine(repo, workers, chunker, rec.clone())?;
+    let mut engine = open_engine(repo, workers, chunker, index, rec.clone())?;
     if engine.orphans_swept() > 0 {
         println!(
             "swept {} orphaned container(s) left by an interrupted backup",
@@ -349,10 +377,11 @@ fn cmd_restore(
     session: usize,
     out: &Path,
     workers: usize,
+    index: &IndexArgs,
     obs: &ObsArgs,
 ) -> Result<(), String> {
     let rec = obs.any().then(Recorder::shared);
-    let engine = open_engine(repo, workers, CdcAlgorithm::Rabin, rec.clone())?;
+    let engine = open_engine(repo, workers, CdcAlgorithm::Rabin, index, rec.clone())?;
     let sampler = rec
         .as_ref()
         .and_then(|r| obs.spawn_sampler(r, format!("restore-{session:05}")));
@@ -399,8 +428,9 @@ fn cmd_restore_file(
     path: &str,
     out: &Path,
     workers: usize,
+    index: &IndexArgs,
 ) -> Result<(), String> {
-    let engine = open_engine(repo, workers, CdcAlgorithm::Rabin, None)?;
+    let engine = open_engine(repo, workers, CdcAlgorithm::Rabin, index, None)?;
     let file = engine
         .restore_file(session, path)
         .map_err(|e| format!("restore failed: {e}"))?;
@@ -414,8 +444,8 @@ fn cmd_restore_file(
     Ok(())
 }
 
-fn cmd_sessions(repo: &Path) -> Result<(), String> {
-    let engine = open_engine(repo, 1, CdcAlgorithm::Rabin, None)?;
+fn cmd_sessions(repo: &Path, index: &IndexArgs) -> Result<(), String> {
+    let engine = open_engine(repo, 1, CdcAlgorithm::Rabin, index, None)?;
     let sessions = engine.list_sessions();
     if sessions.is_empty() {
         println!("no sessions");
@@ -433,8 +463,8 @@ fn cmd_sessions(repo: &Path) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_delete(repo: &Path, session: usize) -> Result<(), String> {
-    let mut engine = open_engine(repo, 1, CdcAlgorithm::Rabin, None)?;
+fn cmd_delete(repo: &Path, session: usize, index: &IndexArgs) -> Result<(), String> {
+    let mut engine = open_engine(repo, 1, CdcAlgorithm::Rabin, index, None)?;
     engine.delete_session(session).map_err(|e| format!("delete failed: {e}"))?;
     println!("deleted session {session}; unreferenced containers reclaimed");
     Ok(())
@@ -474,8 +504,8 @@ fn run_vacuum(engine: &mut AaDedupe, ratio: f64, dry_run: bool) -> Result<(), St
     Ok(())
 }
 
-fn cmd_vacuum(repo: &Path, ratio: f64, dry_run: bool) -> Result<(), String> {
-    let mut engine = open_engine(repo, 1, CdcAlgorithm::Rabin, None)?;
+fn cmd_vacuum(repo: &Path, ratio: f64, dry_run: bool, index: &IndexArgs) -> Result<(), String> {
+    let mut engine = open_engine(repo, 1, CdcAlgorithm::Rabin, index, None)?;
     run_vacuum(&mut engine, ratio, dry_run)
 }
 
@@ -483,8 +513,9 @@ fn cmd_retention(
     repo: &Path,
     policy: &RetentionPolicy,
     vacuum_after: bool,
+    index: &IndexArgs,
 ) -> Result<(), String> {
-    let mut engine = open_engine(repo, 1, CdcAlgorithm::Rabin, None)?;
+    let mut engine = open_engine(repo, 1, CdcAlgorithm::Rabin, index, None)?;
     let report =
         engine.apply_retention(policy).map_err(|e| format!("retention failed: {e}"))?;
     println!(
@@ -497,8 +528,8 @@ fn cmd_retention(
     Ok(())
 }
 
-fn cmd_stats(repo: &Path) -> Result<(), String> {
-    let engine = open_engine(repo, 1, CdcAlgorithm::Rabin, None)?;
+fn cmd_stats(repo: &Path, index: &IndexArgs) -> Result<(), String> {
+    let engine = open_engine(repo, 1, CdcAlgorithm::Rabin, index, None)?;
     let store = engine.cloud().store();
     println!("repository: {} objects, {}", store.object_count(), human(store.stored_bytes()));
     println!(
@@ -542,6 +573,7 @@ fn main() -> ExitCode {
     let workers = workers.unwrap_or(1);
     let Ok(chunker) = take_chunker(&mut args) else { return usage() };
     let chunker = chunker.unwrap_or(CdcAlgorithm::Rabin);
+    let Ok(index) = IndexArgs::take(&mut args) else { return usage() };
     let stats = take_flag(&mut args, "--stats");
     let Ok(stats_json) = take_path(&mut args, "--stats-json") else { return usage() };
     let Ok(trace) = take_path(&mut args, "--trace") else { return usage() };
@@ -565,35 +597,36 @@ fn main() -> ExitCode {
     };
 
     let result = match (command.as_str(), args.as_slice()) {
-        ("backup", [src]) => cmd_backup(&repo, Path::new(src), workers, chunker, &obs),
+        ("backup", [src]) => cmd_backup(&repo, Path::new(src), workers, chunker, &index, &obs),
         ("restore", [session, out]) => match session.parse() {
-            Ok(s) => cmd_restore(&repo, s, Path::new(out), workers, &obs),
+            Ok(s) => cmd_restore(&repo, s, Path::new(out), workers, &index, &obs),
             Err(_) => return usage(),
         },
         ("restore-file", [session, path, out]) => match session.parse() {
-            Ok(s) => cmd_restore_file(&repo, s, path, Path::new(out), workers),
+            Ok(s) => cmd_restore_file(&repo, s, path, Path::new(out), workers, &index),
             Err(_) => return usage(),
         },
-        ("sessions", []) => cmd_sessions(&repo),
+        ("sessions", []) => cmd_sessions(&repo, &index),
         ("delete", [session]) => match session.parse() {
-            Ok(s) => cmd_delete(&repo, s),
+            Ok(s) => cmd_delete(&repo, s, &index),
             Err(_) => return usage(),
         },
         ("vacuum", []) => {
-            cmd_vacuum(&repo, ratio.unwrap_or(VacuumOptions::default().ratio), dry_run)
+            cmd_vacuum(&repo, ratio.unwrap_or(VacuumOptions::default().ratio), dry_run, &index)
         }
         ("retention", []) => match (keep_last, gfs) {
             (Some(n), None) => {
-                cmd_retention(&repo, &RetentionPolicy::KeepLast(n as usize), vacuum_after)
+                cmd_retention(&repo, &RetentionPolicy::KeepLast(n as usize), vacuum_after, &index)
             }
             (None, Some((d, w, m))) => cmd_retention(
                 &repo,
                 &RetentionPolicy::Gfs { daily: d, weekly: w, monthly: m },
                 vacuum_after,
+                &index,
             ),
             _ => return usage(),
         },
-        ("stats", []) => cmd_stats(&repo),
+        ("stats", []) => cmd_stats(&repo, &index),
         _ => return usage(),
     };
     match result {

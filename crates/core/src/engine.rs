@@ -41,6 +41,7 @@
 //!    arrivals in its shard's send order.
 
 use std::collections::{BTreeMap, HashMap};
+use std::path::PathBuf;
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
@@ -134,8 +135,17 @@ pub struct AaDedupeConfig {
     pub cdc_by_app: Vec<(AppType, CdcParams)>,
     /// Chunking/hash policy per category (paper: Fig. 6).
     pub policy: DedupPolicy,
-    /// Modelled RAM cache entries per index partition.
+    /// RAM cache entries per index partition (modelled when the index is
+    /// RAM-resident, a real write-back cache budget when disk-backed).
     pub ram_entries_per_partition: usize,
+    /// Root directory for on-disk index segments. `None` (the default)
+    /// keeps every partition RAM-resident with modelled disk accounting;
+    /// `Some(dir)` makes partitions spill entries beyond
+    /// [`Self::ram_entries_per_partition`] to real segment files under
+    /// `dir/p01..p13`, guarded by per-partition existence filters. Dedup
+    /// decisions are bit-identical either way — only the RAM/disk stat
+    /// classification and the actual memory footprint differ.
+    pub index_dir: Option<PathBuf>,
     /// Upload an index snapshot every N sessions (0 disables sync).
     pub index_sync_interval: usize,
     /// Backup pipeline worker-pool settings.
@@ -165,6 +175,7 @@ impl Default for AaDedupeConfig {
             cdc_by_app: Vec::new(),
             policy: DedupPolicy::aa_dedupe(),
             ram_entries_per_partition: 1 << 18,
+            index_dir: None,
             index_sync_interval: 1,
             pipeline: PipelineConfig::default(),
             restore: RestoreOptions::default(),
@@ -434,10 +445,23 @@ impl AaDedupe {
         Self::with_config(cloud, AaDedupeConfig::default())
     }
 
+    /// Builds an index matching `config`'s storage mode: RAM-resident by
+    /// default, disk-backed under [`AaDedupeConfig::index_dir`] when set.
+    /// Recovery uses this too, so a rebuilt index keeps the same mode.
+    fn build_index(config: &AaDedupeConfig) -> AppAwareIndex {
+        let mut index = match &config.index_dir {
+            Some(dir) => {
+                AppAwareIndex::disk_backed(config.ram_entries_per_partition, dir)
+            }
+            None => AppAwareIndex::new(config.ram_entries_per_partition),
+        };
+        index.set_recorder(Arc::clone(&config.recorder));
+        index
+    }
+
     /// Engine with an explicit configuration.
     pub fn with_config(cloud: CloudSim, config: AaDedupeConfig) -> Self {
-        let mut index = AppAwareIndex::new(config.ram_entries_per_partition);
-        index.set_recorder(Arc::clone(&config.recorder));
+        let index = Self::build_index(&config);
         let mut containers = ContainerStore::new(config.container_size);
         containers.set_recorder(Arc::clone(&config.recorder));
         for app in AppType::ALL {
@@ -1025,9 +1049,13 @@ impl AaDedupe {
         })?;
         let (bytes, _t) = self.cloud.get(latest)?;
         let bytes = bytes.ok_or_else(|| BackupError::MissingObject(latest.clone()))?;
-        self.index = codec::decode_app_aware(&bytes, self.config.ram_entries_per_partition)
+        // A fresh index in the configured storage mode (disk-backed
+        // partitions rebuild their segments and existence filters as the
+        // snapshot loads), decoded in place.
+        let index = Self::build_index(&self.config);
+        codec::decode_app_aware_into(&bytes, &index)
             .map_err(|e| BackupError::Corrupt(format!("index snapshot: {e}")))?;
-        self.index.set_recorder(Arc::clone(&self.config.recorder));
+        self.index = index;
 
         // Reconcile against the manifests: exact per-app entries (first
         // placement wins, one refcount per reference — the same fold as
@@ -1147,6 +1175,17 @@ impl BackupScheme for AaDedupe {
         let manifest = self.run_session(files, &mut report, &mut clock);
         // Every byte of the dataset is read once from the source disk.
         clock.charge_source_read(report.logical_bytes);
+
+        // Disk-backed index partitions degrade on local IO errors (lookups
+        // answer "absent": duplicate storage, never corruption) instead of
+        // failing mid-pipeline. An errored session's dedup state is
+        // untrustworthy though, so refuse to commit anything to the cloud
+        // — and poison the instance, since the in-memory index now holds
+        // this session's inserts with nothing committed behind them.
+        if let Some(why) = self.index.io_error() {
+            self.poisoned = Some(format!("index storage failure: {why}"));
+            return Err(BackupError::IndexStorage(why));
+        }
 
         // Commit protocol: containers first (in id order, so the upload
         // sequence does not depend on stream sealing order), then the

@@ -30,6 +30,11 @@ pub enum BackupError {
     /// in-memory state may reference objects that never reached the cloud,
     /// so further backups are refused — reopen the engine from the cloud.
     Poisoned(String),
+    /// The disk-backed index hit a local IO error during the session.
+    /// Lookups degraded to "absent" (duplicate storage, never corruption),
+    /// but the session's dedup accounting can no longer be trusted, so the
+    /// commit is refused before anything reaches the cloud.
+    IndexStorage(String),
 }
 
 impl fmt::Display for BackupError {
@@ -42,6 +47,9 @@ impl fmt::Display for BackupError {
             BackupError::Cloud(what) => write!(f, "cloud backend failure: {what}"),
             BackupError::Poisoned(what) => {
                 write!(f, "engine poisoned by a failed session ({what}); reopen from the cloud")
+            }
+            BackupError::IndexStorage(what) => {
+                write!(f, "disk-backed index storage failure: {what}")
             }
         }
     }

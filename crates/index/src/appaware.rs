@@ -15,11 +15,12 @@
 //!    for different applications proceed concurrently
 //!    ([`AppAwareIndex::lookup_batch_parallel`]).
 
-use crate::partition::IndexPartition;
+use crate::partition::{IndexPartition, RamFootprint};
 use crate::{ChunkEntry, ChunkIndex, IndexStats, LookupOutcome};
 use aadedupe_filetype::AppType;
 use aadedupe_hashing::Fingerprint;
 use aadedupe_obs::{Counter, Recorder, Stage};
+use std::path::Path;
 use std::sync::Arc;
 
 /// Per-application chunk index.
@@ -45,6 +46,47 @@ impl AppAwareIndex {
         }
     }
 
+    /// Creates a disk-backed index rooted at `dir`: each partition keeps at
+    /// most `ram_per_partition` entries cached in RAM and spills the rest
+    /// to its own segment subdirectory (`p01/`..`p13/` by application tag),
+    /// guarded by a per-partition existence filter.
+    pub fn disk_backed(ram_per_partition: usize, dir: &Path) -> Self {
+        AppAwareIndex {
+            partitions: AppType::ALL
+                .iter()
+                .map(|t| {
+                    IndexPartition::disk_backed(
+                        ram_per_partition,
+                        dir.join(format!("p{:02}", t.tag())),
+                    )
+                })
+                .collect(),
+            recorder: Recorder::shared_disabled(),
+        }
+    }
+
+    /// True when the partitions spill to on-disk segments.
+    pub fn is_disk_backed(&self) -> bool {
+        self.partitions.first().is_some_and(IndexPartition::is_disk_backed)
+    }
+
+    /// The first storage-layer IO error any partition has hit, if any.
+    /// Disk-backed partitions degrade (absence answers, duplicate storage)
+    /// rather than fail, so callers must poll this before trusting a
+    /// session's dedup accounting enough to commit state.
+    pub fn io_error(&self) -> Option<String> {
+        self.partitions.iter().find_map(IndexPartition::io_error)
+    }
+
+    /// Aggregate RAM footprint across all partitions.
+    pub fn ram_footprint(&self) -> RamFootprint {
+        let mut total = RamFootprint::default();
+        for p in &self.partitions {
+            total.merge(&p.ram_footprint());
+        }
+        total
+    }
+
     /// Routes this index's lookup observations (stage latency, per-app
     /// hit/miss, disk probes) to `recorder`.
     pub fn set_recorder(&mut self, recorder: Arc<Recorder>) {
@@ -64,12 +106,18 @@ impl AppAwareIndex {
     /// Classified lookup within one application's partition.
     pub fn lookup_classified(&self, app: AppType, fp: &Fingerprint) -> LookupOutcome {
         let started = self.recorder.start();
-        let outcome = self.partition(app).lookup_classified(fp);
+        let (outcome, trace) = self.partition(app).lookup_traced(fp);
         self.recorder.record(Stage::Index, started);
         if started.is_some() {
             self.recorder.index_outcome(app.tag(), outcome.entry().is_some());
-            if outcome.touched_disk() {
-                self.recorder.count(Counter::IndexDiskProbes, 1);
+            if trace.disk_probes > 0 {
+                self.recorder.count(Counter::IndexDiskProbes, trace.disk_probes);
+            }
+            if trace.filter_short_circuit {
+                self.recorder.count(Counter::FilterHits, 1);
+            }
+            if trace.filter_false_positive {
+                self.recorder.count(Counter::FilterFalsePositives, 1);
             }
         }
         outcome
@@ -196,8 +244,17 @@ impl ChunkIndex for AppAwareIndex {
     /// Trait-level lookup without an app hint: searched across partitions.
     /// Prefer [`AppAwareIndex::lookup`] with the application type; this
     /// exists so the index can stand in where a [`ChunkIndex`] is expected.
+    ///
+    /// The owning partition is located with the side-effect-free
+    /// [`IndexPartition::peek`] so partitions that do *not* hold the
+    /// fingerprint record no lookups, misses, or disk reads and bump no
+    /// refcounts; only the owner then serves the real (stat-charging,
+    /// refcount-bumping) lookup.
     fn lookup(&self, fp: &Fingerprint) -> Option<ChunkEntry> {
-        self.partitions.iter().find_map(|p| p.lookup(fp))
+        self.partitions
+            .iter()
+            .find(|p| p.peek(fp).is_some())
+            .and_then(|p| p.lookup(fp))
     }
 
     fn insert(&self, fp: Fingerprint, entry: ChunkEntry) -> bool {
@@ -205,8 +262,13 @@ impl ChunkIndex for AppAwareIndex {
         self.insert(AppType::Other, fp, entry)
     }
 
+    /// Trait-level release without an app hint; like [`ChunkIndex::lookup`]
+    /// above, partitions that don't own the fingerprint are only peeked.
     fn release(&self, fp: &Fingerprint) -> Option<ChunkEntry> {
-        self.partitions.iter().find_map(|p| p.release(fp))
+        self.partitions
+            .iter()
+            .find(|p| p.peek(fp).is_some())
+            .and_then(|p| p.release(fp))
     }
 
     fn len(&self) -> usize {
@@ -358,5 +420,69 @@ mod tests {
         let as_trait: &dyn ChunkIndex = &idx;
         assert!(as_trait.lookup(&fp(5)).is_some());
         assert!(as_trait.lookup(&fp(6)).is_none());
+    }
+
+    #[test]
+    fn trait_fallback_does_not_pollute_other_partitions() {
+        // Regression: the fallback used to run the side-effecting lookup
+        // in every partition until one hit, charging lookups/misses/disk
+        // reads in partitions that never owned the fingerprint — and a
+        // fallback release could bump the wrong partition's refcounts.
+        let idx = AppAwareIndex::new(100);
+        // Same fingerprint lives in TWO partitions (allowed by design);
+        // the fallback must touch only the first owner it finds.
+        idx.insert(AppType::Jpg, fp(5), ChunkEntry::new(3, 2, 1));
+        idx.insert(AppType::Vmdk, fp(5), ChunkEntry::new(3, 9, 9));
+
+        let as_trait: &dyn ChunkIndex = &idx;
+        assert!(as_trait.lookup(&fp(5)).is_some());
+        assert!(as_trait.lookup(&fp(404)).is_none());
+
+        // Partitions that don't own fp(5) recorded nothing at all.
+        for (app, p) in idx.partitions() {
+            if app == AppType::Jpg {
+                continue;
+            }
+            let s = p.stats();
+            assert_eq!(s.lookups, 0, "{app:?} charged lookups by fallback");
+            assert_eq!(s.disk_reads, 0, "{app:?} charged disk reads by fallback");
+            assert_eq!(s.hits, 0, "{app:?} charged hits by fallback");
+        }
+        // The owner's refcount was bumped exactly once (insert + 1 lookup);
+        // the second copy's refcount is untouched.
+        assert_eq!(idx.partition(AppType::Jpg).peek(&fp(5)).unwrap().refcount, 2);
+        assert_eq!(idx.partition(AppType::Vmdk).peek(&fp(5)).unwrap().refcount, 1);
+
+        // Fallback release decrements only the owning partition.
+        assert!(as_trait.release(&fp(5)).is_none()); // 2 -> 1, not removed
+        assert_eq!(idx.partition(AppType::Jpg).peek(&fp(5)).unwrap().refcount, 1);
+        assert_eq!(idx.partition(AppType::Vmdk).peek(&fp(5)).unwrap().refcount, 1);
+    }
+
+    #[test]
+    fn disk_backed_index_routes_and_reports_footprint() {
+        let dir = std::env::temp_dir().join(format!(
+            "aadedupe-appaware-disk-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let idx = AppAwareIndex::disk_backed(4, &dir);
+        assert!(idx.is_disk_backed());
+        for i in 0..64u64 {
+            idx.insert(AppType::Doc, fp(i), ChunkEntry::new(i, i, 0));
+        }
+        for i in 0..64u64 {
+            assert!(idx.lookup(AppType::Doc, &fp(i)).is_some(), "i={i}");
+        }
+        // Negative lookups in a partition that never saw data stay cheap.
+        assert!(idx.lookup(AppType::Avi, &fp(1)).is_none());
+        assert_eq!(idx.partition(AppType::Avi).stats().disk_reads, 0);
+
+        let foot = idx.ram_footprint();
+        assert_eq!(foot.cache_capacity, 4 * AppType::ALL.len());
+        assert!(foot.cache_entries <= foot.cache_capacity);
+        assert!(foot.segments > 0, "64 entries over a 4-entry cache must spill");
+        assert!(idx.io_error().is_none());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

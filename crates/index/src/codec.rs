@@ -138,19 +138,28 @@ pub fn decode_app_aware(
     buf: &[u8],
     ram_per_partition: usize,
 ) -> Result<AppAwareIndex, CodecError> {
+    let index = AppAwareIndex::new(ram_per_partition);
+    decode_app_aware_into(buf, &index)?;
+    Ok(index)
+}
+
+/// Decodes a snapshot into a caller-constructed (typically empty) index —
+/// the recovery path uses this so the rebuilt index keeps whatever storage
+/// mode (RAM-resident or disk-backed) the engine was configured with,
+/// rebuilding segments and existence filters as entries load.
+pub fn decode_app_aware_into(buf: &[u8], index: &AppAwareIndex) -> Result<(), CodecError> {
     let mut r = Reader { buf, pos: 0 };
     if r.take(6)? != MAGIC {
         return Err(CodecError::BadMagic);
     }
     let npart = r.u32()? as usize;
-    let index = AppAwareIndex::new(ram_per_partition);
     for _ in 0..npart {
         let tag = r.u8()?;
         let app = AppType::from_tag(tag).ok_or(CodecError::BadAppTag(tag))?;
         let entries = decode_entries(&mut r)?;
         index.partition(app).load(entries);
     }
-    Ok(index)
+    Ok(())
 }
 
 /// Serialises a monolithic index (tag 0, one partition).

@@ -24,14 +24,17 @@
 
 pub mod appaware;
 pub mod codec;
+pub mod filter;
 pub mod lru;
 pub mod monolithic;
 pub mod partition;
+pub mod segment;
 
 pub use appaware::AppAwareIndex;
+pub use filter::CuckooFilter;
 pub use lru::LruSet;
 pub use monolithic::MonolithicIndex;
-pub use partition::{IndexPartition, LookupOutcome};
+pub use partition::{IndexPartition, LookupOutcome, RamFootprint};
 
 use aadedupe_hashing::Fingerprint;
 
@@ -69,12 +72,24 @@ pub struct IndexStats {
     pub lookups: u64,
     /// Lookups that found the fingerprint (duplicates detected).
     pub hits: u64,
-    /// Lookups answered from the modelled RAM cache.
+    /// Lookups answered from the RAM cache.
     pub ram_hits: u64,
-    /// Lookups that had to touch the modelled on-disk index.
+    /// Lookups that had to touch the on-disk index (modelled in resident
+    /// mode, real segment reads in disk-backed mode).
     pub disk_reads: u64,
-    /// Entries inserted.
+    /// Entries inserted by the query path.
     pub inserts: u64,
+    /// Entries re-created by state restore ([`IndexPartition::bump_or_insert`],
+    /// recovery reconciliation) rather than the query path. Kept separate
+    /// from `inserts` so post-recovery stats remain comparable with a
+    /// never-crashed run's query-path counts.
+    pub recovered_entries: u64,
+    /// Negative lookups the existence filter answered without any disk
+    /// probe (disk-backed mode only).
+    pub filter_hits: u64,
+    /// Lookups the filter passed that then found nothing on disk — its
+    /// false positives (disk-backed mode only).
+    pub filter_false_positives: u64,
 }
 
 impl IndexStats {
@@ -85,6 +100,9 @@ impl IndexStats {
         self.ram_hits += other.ram_hits;
         self.disk_reads += other.disk_reads;
         self.inserts += other.inserts;
+        self.recovered_entries += other.recovered_entries;
+        self.filter_hits += other.filter_hits;
+        self.filter_false_positives += other.filter_false_positives;
     }
 }
 
@@ -132,9 +150,39 @@ mod tests {
 
     #[test]
     fn stats_merge() {
-        let mut a = IndexStats { lookups: 1, hits: 2, ram_hits: 3, disk_reads: 4, inserts: 5 };
-        let b = IndexStats { lookups: 10, hits: 20, ram_hits: 30, disk_reads: 40, inserts: 50 };
+        let mut a = IndexStats {
+            lookups: 1,
+            hits: 2,
+            ram_hits: 3,
+            disk_reads: 4,
+            inserts: 5,
+            recovered_entries: 6,
+            filter_hits: 7,
+            filter_false_positives: 8,
+        };
+        let b = IndexStats {
+            lookups: 10,
+            hits: 20,
+            ram_hits: 30,
+            disk_reads: 40,
+            inserts: 50,
+            recovered_entries: 60,
+            filter_hits: 70,
+            filter_false_positives: 80,
+        };
         a.merge(&b);
-        assert_eq!(a, IndexStats { lookups: 11, hits: 22, ram_hits: 33, disk_reads: 44, inserts: 55 });
+        assert_eq!(
+            a,
+            IndexStats {
+                lookups: 11,
+                hits: 22,
+                ram_hits: 33,
+                disk_reads: 44,
+                inserts: 55,
+                recovered_entries: 66,
+                filter_hits: 77,
+                filter_false_positives: 88,
+            }
+        );
     }
 }

@@ -1,32 +1,65 @@
-//! A single chunk-index partition with a modelled RAM cache.
+//! A single chunk-index partition, RAM-resident or disk-backed.
 //!
 //! Both index designs are built from partitions: the monolithic baseline is
 //! one big partition; the application-aware index is one partition per
-//! [`AppType`](aadedupe_filetype::AppType). A partition is a hash map from
-//! fingerprint to [`ChunkEntry`] guarded by a [`parking_lot::Mutex`], plus
-//! an [`LruSet`](crate::lru::LruSet) that tracks which fingerprints would
-//! currently be RAM-resident if the index were disk-backed with a bounded
-//! cache — the mechanism behind the paper's on-disk index lookup
-//! bottleneck. Every lookup/insert is classified as a RAM hit or a disk
-//! read, and those counts feed the throughput and energy models.
+//! [`AppType`](aadedupe_filetype::AppType). A partition has two storage
+//! modes behind one API:
+//!
+//! * **Resident** ([`IndexPartition::new`]) — the original design: a hash
+//!   map guarded by a [`parking_lot::Mutex`] plus an
+//!   [`LruSet`](crate::lru::LruSet) that *models* which fingerprints would
+//!   be RAM-resident if the index were disk-backed, classifying each
+//!   lookup as a RAM hit or a (modelled) disk read for the throughput and
+//!   energy models.
+//! * **Disk-backed** ([`IndexPartition::disk_backed`]) — the real thing:
+//!   a bounded write-back cache (the same `LruSet` drives eviction) in
+//!   front of sorted on-disk [`segment`](crate::segment)s, with a
+//!   [`CuckooFilter`](crate::filter::CuckooFilter) existence prefilter so
+//!   negative lookups — the overwhelmingly-common case in a backup
+//!   stream — are answered from RAM with zero disk probes. RAM-vs-disk
+//!   hit accounting is *measured*, not modelled.
+//!
+//! Both modes are exact key-value stores: dedup decisions, reference
+//! counts, and entry values are bit-identical between them (the
+//! resident↔disk differential suite pins this); only the
+//! [`IndexStats`] classification differs.
+//!
+//! Disk-backed IO keeps the partition API infallible: any segment
+//! read/write failure poisons the partition (sticky
+//! [`IndexPartition::io_error`]) and the operation degrades safely
+//! (a failed probe reports "absent", which can only cause duplicate
+//! storage, never corruption). The engine checks `io_error()` before
+//! committing a session, so no state derived from failed IO reaches the
+//! cloud.
 
+use crate::filter::CuckooFilter;
 use crate::lru::LruSet;
+use crate::segment::{merge_segments, Segment, SegmentError};
 use crate::{ChunkEntry, IndexStats};
 use aadedupe_hashing::Fingerprint;
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::path::PathBuf;
 
-/// How a lookup was served by the storage model.
+/// Segment-count ceiling: a flush that leaves more than this many
+/// segments triggers a full streaming compaction.
+const MAX_SEGMENTS: usize = 8;
+
+/// Rough per-entry RAM cost (key + slot + map/LRU overhead) used by
+/// [`RamFootprint::approx_bytes`]. Deliberately generous.
+const ENTRY_COST: usize = 128;
+
+/// How a lookup was served by the storage layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LookupOutcome {
-    /// Fingerprint found, served from the modelled RAM cache.
+    /// Fingerprint found, served from RAM (cache hit).
     HitRam(ChunkEntry),
-    /// Fingerprint found, required a modelled disk probe.
+    /// Fingerprint found, required a disk probe.
     HitDisk(ChunkEntry),
-    /// Fingerprint absent, absence determinable in RAM (index smaller than
-    /// cache, or negative lookup accelerated by the resident table).
+    /// Fingerprint absent, absence determined in RAM (resident table,
+    /// cached tombstone, or existence-filter short-circuit).
     MissRam,
-    /// Fingerprint absent, required a modelled disk probe to prove it.
+    /// Fingerprint absent, a disk probe was needed to prove it.
     MissDisk,
 }
 
@@ -39,15 +72,419 @@ impl LookupOutcome {
         }
     }
 
-    /// Whether the storage model charged a disk read.
+    /// Whether the storage layer charged a disk read.
     pub fn touched_disk(&self) -> bool {
         matches!(self, LookupOutcome::HitDisk(_) | LookupOutcome::MissDisk)
     }
 }
 
+/// Per-lookup storage-layer observations, for the observability counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProbeTrace {
+    /// The existence filter answered "definitely absent" with no disk IO.
+    pub filter_short_circuit: bool,
+    /// The filter said "maybe" but disk found nothing — a false positive.
+    pub filter_false_positive: bool,
+    /// Number of segment probes performed (resident mode models this as
+    /// 0 or 1).
+    pub disk_probes: u64,
+}
+
+/// A point-in-time measurement of the RAM a partition actually holds —
+/// the quantity the sub-RAM index bench asserts stays within budget.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RamFootprint {
+    /// Entries resident in RAM (cache slots, or the whole map when
+    /// resident).
+    pub cache_entries: usize,
+    /// Configured cache budget (entries).
+    pub cache_capacity: usize,
+    /// Bytes held by the existence filter's slot table.
+    pub filter_bytes: usize,
+    /// Bytes held by segment fence indexes.
+    pub fence_bytes: usize,
+    /// Number of on-disk segments.
+    pub segments: usize,
+    /// Rough total bytes: `cache_entries * ENTRY_COST + filter + fences`.
+    pub approx_bytes: usize,
+}
+
+impl RamFootprint {
+    /// Accumulates another partition's footprint into this one.
+    pub fn merge(&mut self, other: &RamFootprint) {
+        self.cache_entries += other.cache_entries;
+        self.cache_capacity += other.cache_capacity;
+        self.filter_bytes += other.filter_bytes;
+        self.fence_bytes += other.fence_bytes;
+        self.segments += other.segments;
+        self.approx_bytes += other.approx_bytes;
+    }
+}
+
+/// One write-back cache slot. `entry == None` is a tombstone shadowing an
+/// on-disk record (or marking an in-flight delete).
+#[derive(Debug, Clone, Copy)]
+struct CacheSlot {
+    entry: Option<ChunkEntry>,
+    /// Slot differs from disk state and must be flushed before eviction.
+    dirty: bool,
+    /// A (possibly stale) record for this fingerprint exists in some
+    /// segment, so deleting it requires a tombstone.
+    on_disk: bool,
+}
+
+/// Real disk-backed storage: bounded cache + existence filter + segments.
+struct DiskStore {
+    dir: PathBuf,
+    cache: HashMap<Fingerprint, CacheSlot>,
+    lru: LruSet<Fingerprint>,
+    filter: CuckooFilter,
+    /// Oldest → newest; newer segments shadow older ones.
+    segments: Vec<Segment>,
+    next_seq: u64,
+    /// Exact live-entry count (cache ∪ segments, tombstones excluded).
+    live: u64,
+    /// Directory created + stale files swept (done lazily on first
+    /// flush so construction stays infallible).
+    initialized: bool,
+    /// Sticky first IO error; see the module docs for the degradation
+    /// contract.
+    error: Option<String>,
+}
+
+impl DiskStore {
+    fn new(budget: usize, dir: PathBuf) -> Self {
+        DiskStore {
+            dir,
+            cache: HashMap::new(),
+            // A zero-capacity cache would make the write-back cache
+            // unbounded (LruSet stores nothing at capacity 0); one slot
+            // is the honest minimum.
+            lru: LruSet::new(budget.max(1)),
+            filter: CuckooFilter::with_capacity(1024),
+            segments: Vec::new(),
+            next_seq: 1,
+            live: 0,
+            initialized: false,
+            error: None,
+        }
+    }
+
+    fn poison(&mut self, e: &SegmentError) {
+        if self.error.is_none() {
+            self.error = Some(e.to_string());
+        }
+    }
+
+    /// Creates the partition directory and sweeps stale files from a
+    /// previous process (segments are session-local; the cloud snapshot
+    /// is the durable store).
+    fn init(&mut self) -> Result<(), SegmentError> {
+        if self.initialized {
+            return Ok(());
+        }
+        std::fs::create_dir_all(&self.dir)
+            .map_err(|e| SegmentError::Io(format!("create {}: {e}", self.dir.display())))?;
+        let entries = std::fs::read_dir(&self.dir)
+            .map_err(|e| SegmentError::Io(format!("read {}: {e}", self.dir.display())))?;
+        let mut stale: Vec<PathBuf> =
+            entries.flatten().map(|d| d.path()).filter(|p| p.is_file()).collect();
+        stale.sort_unstable();
+        for p in stale {
+            std::fs::remove_file(&p)
+                .map_err(|e| SegmentError::Io(format!("sweep {}: {e}", p.display())))?;
+        }
+        self.initialized = true;
+        Ok(())
+    }
+
+    /// Probes segments newest→oldest. Returns the shadowing record (live
+    /// or tombstone) and how many segments were consulted. IO errors
+    /// poison the store and read as "absent".
+    fn probe(&mut self, fp: &Fingerprint) -> (Option<Option<ChunkEntry>>, u64) {
+        let mut probes = 0u64;
+        let mut found = None;
+        let mut err = None;
+        for seg in self.segments.iter_mut().rev() {
+            probes += 1;
+            match seg.get(fp) {
+                Ok(Some(rec)) => {
+                    found = Some(rec);
+                    break;
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        if let Some(e) = err {
+            self.poison(&e);
+        }
+        (found, probes)
+    }
+
+    /// Whether `fp` currently maps to a live entry (no refcount or stats
+    /// side effects).
+    fn exists(&mut self, fp: &Fingerprint) -> bool {
+        if let Some(slot) = self.cache.get(fp) {
+            return slot.entry.is_some();
+        }
+        if !self.filter.contains(fp) {
+            return false;
+        }
+        matches!(self.probe(fp).0, Some(Some(_)))
+    }
+
+    /// Writes every dirty slot as one new sorted segment, then marks the
+    /// flushed slots clean (dropping flushed tombstones — the segment now
+    /// carries them).
+    fn flush_dirty(&mut self) -> Result<(), SegmentError> {
+        let mut dirty: Vec<(Fingerprint, Option<ChunkEntry>)> = Vec::new();
+        let mut drop_keys: Vec<Fingerprint> = Vec::new();
+        for (f, s) in &self.cache {
+            if !s.dirty {
+                continue;
+            }
+            if s.entry.is_none() && !s.on_disk {
+                // A tombstone that never reached disk shadows nothing.
+                drop_keys.push(*f);
+                continue;
+            }
+            dirty.push((*f, s.entry));
+        }
+        dirty.sort_unstable_by_key(|(f, _)| *f);
+        if !dirty.is_empty() {
+            self.init()?;
+            let seq = self.next_seq;
+            let seg = Segment::write(&self.dir, seq, dirty.iter().copied())?;
+            self.next_seq += 1;
+            self.segments.push(seg);
+        }
+        for (f, _) in &dirty {
+            if let Some(s) = self.cache.get_mut(f) {
+                if s.entry.is_none() {
+                    drop_keys.push(*f);
+                } else {
+                    s.dirty = false;
+                    s.on_disk = true;
+                }
+            }
+        }
+        drop_keys.sort_unstable();
+        for f in &drop_keys {
+            self.cache.remove(f);
+            self.lru.remove(f);
+        }
+        if self.segments.len() > MAX_SEGMENTS {
+            self.compact()?;
+        }
+        Ok(())
+    }
+
+    /// Full streaming merge of all segments into one, dropping
+    /// tombstones (safe: nothing older remains to shadow; cache
+    /// tombstones still overlay the result).
+    fn compact(&mut self) -> Result<(), SegmentError> {
+        if self.segments.len() <= 1 {
+            return Ok(());
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let merged = merge_segments(&self.dir, seq, &mut self.segments, true)?;
+        let old = std::mem::replace(&mut self.segments, vec![merged]);
+        for seg in old {
+            seg.remove()?;
+        }
+        Ok(())
+    }
+
+    /// Admits a slot, evicting (and if necessary flushing) the LRU
+    /// victim to stay within budget. The admitted key itself is never
+    /// the victim. IO failures poison the store; the cache then
+    /// temporarily exceeds budget rather than losing the dirty slot.
+    fn admit(&mut self, fp: Fingerprint, slot: CacheSlot) {
+        self.cache.insert(fp, slot);
+        if let Some(victim) = self.lru.insert(fp) {
+            if self.cache.get(&victim).is_some_and(|s| s.dirty) {
+                if let Err(e) = self.flush_dirty() {
+                    self.poison(&e);
+                    // Poisoned: keep the dirty victim cached (untracked
+                    // by the LRU) rather than losing state; the engine
+                    // refuses to commit a poisoned index.
+                    return;
+                }
+            }
+            self.cache.remove(&victim);
+        }
+    }
+
+    /// Inserts into the filter, transparently rebuilding it at a larger
+    /// capacity from the authoritative key set when it overflows. The
+    /// key being inserted must already be resident in the cache.
+    fn filter_insert(&mut self, fp: &Fingerprint) {
+        if self.filter.insert(fp).is_ok() {
+            return;
+        }
+        if let Err(e) = self.rebuild_filter() {
+            self.poison(&e);
+        }
+    }
+
+    /// Rebuilds the filter from the authoritative live-key set (cache
+    /// overlay on a freshly full-compacted segment), doubling capacity
+    /// until everything fits. O(cache + filter) RAM.
+    fn rebuild_filter(&mut self) -> Result<(), SegmentError> {
+        self.compact()?;
+        let mut cap = ((self.live as usize) + 2)
+            .next_power_of_two()
+            .max(self.filter.capacity().saturating_mul(2));
+        'grow: loop {
+            let mut f = CuckooFilter::with_capacity(cap);
+            let mut cache_keys: Vec<Fingerprint> = self
+                .cache
+                .iter()
+                .filter(|(_, s)| s.entry.is_some())
+                .map(|(k, _)| *k)
+                .collect();
+            cache_keys.sort_unstable();
+            for k in &cache_keys {
+                if f.insert(k).is_err() {
+                    cap = cap.saturating_mul(2);
+                    continue 'grow;
+                }
+            }
+            if let Some(seg) = self.segments.first_mut() {
+                let mut s = seg.stream()?;
+                while let Some((k, rec)) = s.next_record()? {
+                    if rec.is_none() || self.cache.contains_key(&k) {
+                        continue;
+                    }
+                    if f.insert(&k).is_err() {
+                        cap = cap.saturating_mul(2);
+                        continue 'grow;
+                    }
+                }
+            }
+            self.filter = f;
+            return Ok(());
+        }
+    }
+
+    /// Drops all cache, filter, and segment state (files included) and
+    /// replaces it with exactly `entries` (sorted, deduped) — the
+    /// reconciliation/bulk-load primitive.
+    fn replace_all(&mut self, entries: &[(Fingerprint, ChunkEntry)]) -> Result<(), SegmentError> {
+        self.cache.clear();
+        let budget = self.lru.capacity();
+        self.lru = LruSet::new(budget);
+        let old = std::mem::take(&mut self.segments);
+        for seg in old {
+            seg.remove()?;
+        }
+        self.live = entries.len() as u64;
+        let mut filter = CuckooFilter::with_capacity(
+            (entries.len() + 2).next_power_of_two().max(1024),
+        );
+        for (f, _) in entries {
+            if filter.insert(f).is_err() {
+                // Geometric headroom above: a second overflow would need
+                // pathological collisions; grow once more and retry all.
+                filter = CuckooFilter::with_capacity(entries.len().saturating_mul(4).max(2048));
+                for (g, _) in entries {
+                    if filter.insert(g).is_err() {
+                        return Err(SegmentError::Io(
+                            "existence filter rebuild overflowed twice".to_string(),
+                        ));
+                    }
+                }
+                break;
+            }
+        }
+        self.filter = filter;
+        if !entries.is_empty() {
+            self.init()?;
+            let seq = self.next_seq;
+            let seg =
+                Segment::write(&self.dir, seq, entries.iter().map(|(f, e)| (*f, Some(*e))))?;
+            self.next_seq += 1;
+            self.segments.push(seg);
+        }
+        Ok(())
+    }
+
+    /// Full merged enumeration: segments oldest→newest, overlaid with
+    /// the cache. O(live) memory — used only by the snapshot codec,
+    /// which is O(live) by contract anyway.
+    fn dump(&mut self) -> Vec<(Fingerprint, ChunkEntry)> {
+        let mut merged: BTreeMap<Fingerprint, ChunkEntry> = BTreeMap::new();
+        let mut first_err: Option<SegmentError> = None;
+        for seg in &mut self.segments {
+            let mut stream = match seg.stream() {
+                Ok(s) => s,
+                Err(e) => {
+                    first_err.get_or_insert(e);
+                    continue;
+                }
+            };
+            loop {
+                match stream.next_record() {
+                    Ok(Some((f, Some(e)))) => {
+                        merged.insert(f, e);
+                    }
+                    Ok(Some((f, None))) => {
+                        merged.remove(&f);
+                    }
+                    Ok(None) => break,
+                    Err(e) => {
+                        first_err.get_or_insert(e);
+                        break;
+                    }
+                }
+            }
+        }
+        if let Some(e) = first_err {
+            self.poison(&e);
+        }
+        let mut overlay: Vec<(Fingerprint, CacheSlot)> =
+            self.cache.iter().map(|(f, s)| (*f, *s)).collect();
+        overlay.sort_unstable_by_key(|(f, _)| *f);
+        for (f, slot) in overlay {
+            match slot.entry {
+                Some(e) => {
+                    merged.insert(f, e);
+                }
+                None => {
+                    merged.remove(&f);
+                }
+            }
+        }
+        merged.into_iter().collect()
+    }
+
+    fn footprint(&self) -> RamFootprint {
+        let fence_bytes: usize = self.segments.iter().map(Segment::mem_bytes).sum();
+        RamFootprint {
+            cache_entries: self.cache.len(),
+            cache_capacity: self.lru.capacity(),
+            filter_bytes: self.filter.mem_bytes(),
+            fence_bytes,
+            segments: self.segments.len(),
+            approx_bytes: self.cache.len() * ENTRY_COST + self.filter.mem_bytes() + fence_bytes,
+        }
+    }
+}
+
+/// Storage behind a partition: the modelled resident map, or the real
+/// disk-backed store.
+enum Storage {
+    Resident { map: HashMap<Fingerprint, ChunkEntry>, ram: LruSet<Fingerprint> },
+    Disk(DiskStore),
+}
+
 struct Inner {
-    map: HashMap<Fingerprint, ChunkEntry>,
-    ram: LruSet<Fingerprint>,
+    storage: Storage,
     stats: IndexStats,
 }
 
@@ -58,57 +495,147 @@ pub struct IndexPartition {
 }
 
 impl IndexPartition {
-    /// Creates a partition whose modelled RAM cache holds `ram_capacity`
-    /// entries.
+    /// Creates a RAM-resident partition whose modelled cache holds
+    /// `ram_capacity` entries.
     pub fn new(ram_capacity: usize) -> Self {
         IndexPartition {
             inner: Mutex::new(Inner {
-                map: HashMap::new(),
-                ram: LruSet::new(ram_capacity),
+                storage: Storage::Resident {
+                    map: HashMap::new(),
+                    ram: LruSet::new(ram_capacity),
+                },
                 stats: IndexStats::default(),
             }),
             ram_capacity,
         }
     }
 
-    /// The modelled RAM cache capacity (entries).
+    /// Creates a disk-backed partition: at most `ram_capacity` entries
+    /// cached in RAM, overflow in sorted segments under `dir`, negative
+    /// lookups short-circuited by a cuckoo existence filter.
+    ///
+    /// Construction is infallible; the directory is created (and stale
+    /// files from a previous process swept) lazily on the first flush.
+    /// IO failures poison the partition — see [`IndexPartition::io_error`].
+    pub fn disk_backed(ram_capacity: usize, dir: PathBuf) -> Self {
+        IndexPartition {
+            inner: Mutex::new(Inner {
+                storage: Storage::Disk(DiskStore::new(ram_capacity, dir)),
+                stats: IndexStats::default(),
+            }),
+            ram_capacity,
+        }
+    }
+
+    /// The RAM cache capacity (entries).
     pub fn ram_capacity(&self) -> usize {
         self.ram_capacity
     }
 
-    /// Full lookup with storage-model classification. On a hit the entry's
+    /// True when this partition stores overflow in on-disk segments.
+    pub fn is_disk_backed(&self) -> bool {
+        matches!(self.inner.lock().storage, Storage::Disk(_))
+    }
+
+    /// The first IO error this partition hit, if any. Once set, the
+    /// partition keeps serving degraded (probe failures read as absent,
+    /// dirty state stays cached) and the error sticks until the partition
+    /// is rebuilt; the engine must not commit state derived from it.
+    pub fn io_error(&self) -> Option<String> {
+        match &self.inner.lock().storage {
+            Storage::Resident { .. } => None,
+            Storage::Disk(d) => d.error.clone(),
+        }
+    }
+
+    /// Full lookup with storage classification. On a hit the entry's
     /// reference count is incremented and the fingerprint becomes
     /// most-recently-used.
     pub fn lookup_classified(&self, fp: &Fingerprint) -> LookupOutcome {
+        self.lookup_traced(fp).0
+    }
+
+    /// [`IndexPartition::lookup_classified`] plus the per-lookup
+    /// filter/probe observations the observability counters consume.
+    pub fn lookup_traced(&self, fp: &Fingerprint) -> (LookupOutcome, ProbeTrace) {
         let mut g = self.inner.lock();
-        g.stats.lookups += 1;
-        // Whether the index currently fits entirely in the cache: if so,
-        // even negative lookups are RAM-resident.
-        let fits_in_ram = g.map.len() <= g.ram.capacity();
-        let in_ram = g.ram.touch(fp);
-        match g.map.get_mut(fp) {
-            Some(entry) => {
-                entry.refcount = entry.refcount.saturating_add(1);
-                let entry = *entry;
-                g.stats.hits += 1;
-                if in_ram || fits_in_ram {
-                    g.stats.ram_hits += 1;
-                    g.ram.insert(*fp);
-                    LookupOutcome::HitRam(entry)
-                } else {
-                    g.stats.disk_reads += 1;
-                    g.ram.insert(*fp);
-                    LookupOutcome::HitDisk(entry)
+        let Inner { storage, stats } = &mut *g;
+        stats.lookups += 1;
+        let mut trace = ProbeTrace::default();
+        match storage {
+            Storage::Resident { map, ram } => {
+                // Whether the index currently fits entirely in the cache:
+                // if so, even negative lookups are RAM-resident.
+                let fits_in_ram = map.len() <= ram.capacity();
+                let in_ram = ram.touch(fp);
+                match map.get_mut(fp) {
+                    Some(entry) => {
+                        entry.refcount = entry.refcount.saturating_add(1);
+                        let entry = *entry;
+                        stats.hits += 1;
+                        if in_ram || fits_in_ram {
+                            stats.ram_hits += 1;
+                            ram.insert(*fp);
+                            (LookupOutcome::HitRam(entry), trace)
+                        } else {
+                            stats.disk_reads += 1;
+                            trace.disk_probes = 1;
+                            ram.insert(*fp);
+                            (LookupOutcome::HitDisk(entry), trace)
+                        }
+                    }
+                    None => {
+                        if fits_in_ram {
+                            (LookupOutcome::MissRam, trace)
+                        } else {
+                            // A negative lookup against an over-RAM index
+                            // must probe disk (no existence filter in the
+                            // modelled design).
+                            stats.disk_reads += 1;
+                            trace.disk_probes = 1;
+                            (LookupOutcome::MissDisk, trace)
+                        }
+                    }
                 }
             }
-            None => {
-                if fits_in_ram {
-                    LookupOutcome::MissRam
-                } else {
-                    // A negative lookup against an over-RAM index must
-                    // probe disk (no Bloom filter in the paper's design).
-                    g.stats.disk_reads += 1;
-                    LookupOutcome::MissDisk
+            Storage::Disk(d) => {
+                if let Some(slot) = d.cache.get_mut(fp) {
+                    if let Some(e) = slot.entry.as_mut() {
+                        e.refcount = e.refcount.saturating_add(1);
+                        let out = *e;
+                        slot.dirty = true;
+                        d.lru.touch(fp);
+                        stats.hits += 1;
+                        stats.ram_hits += 1;
+                        return (LookupOutcome::HitRam(out), trace);
+                    }
+                    // Cached tombstone: definitely absent, zero IO.
+                    return (LookupOutcome::MissRam, trace);
+                }
+                if !d.filter.contains(fp) {
+                    stats.filter_hits += 1;
+                    trace.filter_short_circuit = true;
+                    return (LookupOutcome::MissRam, trace);
+                }
+                let (found, probes) = d.probe(fp);
+                trace.disk_probes = probes;
+                if probes > 0 {
+                    stats.disk_reads += 1;
+                }
+                match found {
+                    Some(Some(mut e)) => {
+                        e.refcount = e.refcount.saturating_add(1);
+                        d.admit(*fp, CacheSlot { entry: Some(e), dirty: true, on_disk: true });
+                        stats.hits += 1;
+                        (LookupOutcome::HitDisk(e), trace)
+                    }
+                    // Disk tombstone, nothing found, or probe degraded by
+                    // an IO error: the filter passed but disk disagreed.
+                    _ => {
+                        stats.filter_false_positives += 1;
+                        trace.filter_false_positive = true;
+                        (LookupOutcome::MissDisk, trace)
+                    }
                 }
             }
         }
@@ -119,38 +646,132 @@ impl IndexPartition {
         self.lookup_classified(fp).entry()
     }
 
+    /// Side-effect-free existence/entry peek: no reference-count bump, no
+    /// statistics, no cache-recency change. The trait-level fallback scan
+    /// on `AppAwareIndex` uses this to find the owning partition without
+    /// polluting the others.
+    pub fn peek(&self, fp: &Fingerprint) -> Option<ChunkEntry> {
+        let mut g = self.inner.lock();
+        match &mut g.storage {
+            Storage::Resident { map, .. } => map.get(fp).copied(),
+            Storage::Disk(d) => {
+                if let Some(slot) = d.cache.get(fp) {
+                    return slot.entry;
+                }
+                if !d.filter.contains(fp) {
+                    return None;
+                }
+                d.probe(fp).0.flatten()
+            }
+        }
+    }
+
     /// Inserts a new entry; returns `false` if the fingerprint was already
     /// present (the original is kept).
     pub fn insert(&self, fp: Fingerprint, entry: ChunkEntry) -> bool {
         let mut g = self.inner.lock();
-        use std::collections::hash_map::Entry;
-        match g.map.entry(fp) {
-            Entry::Occupied(_) => false,
-            Entry::Vacant(v) => {
-                v.insert(entry);
-                g.stats.inserts += 1;
-                g.ram.insert(fp);
+        let Inner { storage, stats } = &mut *g;
+        match storage {
+            Storage::Resident { map, ram } => {
+                use std::collections::hash_map::Entry;
+                match map.entry(fp) {
+                    Entry::Occupied(_) => false,
+                    Entry::Vacant(v) => {
+                        v.insert(entry);
+                        stats.inserts += 1;
+                        ram.insert(fp);
+                        true
+                    }
+                }
+            }
+            Storage::Disk(d) => {
+                if let Some(slot) = d.cache.get_mut(&fp) {
+                    if slot.entry.is_some() {
+                        return false;
+                    }
+                    // Resurrect over a cached tombstone.
+                    slot.entry = Some(entry);
+                    slot.dirty = true;
+                    d.lru.touch(&fp);
+                    d.filter_insert(&fp);
+                    d.live += 1;
+                    stats.inserts += 1;
+                    return true;
+                }
+                if d.filter.contains(&fp) {
+                    if let (Some(Some(existing)), _) = d.probe(&fp) {
+                        // Already present on disk; admit for locality.
+                        d.admit(
+                            fp,
+                            CacheSlot { entry: Some(existing), dirty: false, on_disk: true },
+                        );
+                        return false;
+                    }
+                }
+                d.admit(fp, CacheSlot { entry: Some(entry), dirty: true, on_disk: false });
+                d.filter_insert(&fp);
+                d.live += 1;
+                stats.inserts += 1;
                 true
             }
         }
     }
 
     /// State-restore primitive: if the fingerprint exists, bumps its
-    /// reference count; otherwise inserts `entry` as given. Unlike
-    /// [`IndexPartition::lookup_classified`], no cache or statistics
-    /// accounting happens — this models reloading persisted state, not
-    /// serving a query. Returns true if the entry was newly inserted.
+    /// reference count; otherwise inserts `entry` as given. Newly created
+    /// entries are counted as `recovered_entries`, not `inserts`, so
+    /// post-recovery statistics stay comparable with a never-crashed
+    /// run's query-path counts. Returns true if the entry was newly
+    /// inserted.
     pub fn bump_or_insert(&self, fp: Fingerprint, entry: ChunkEntry) -> bool {
         let mut g = self.inner.lock();
-        use std::collections::hash_map::Entry;
-        match g.map.entry(fp) {
-            Entry::Occupied(mut o) => {
-                o.get_mut().refcount = o.get().refcount.saturating_add(1);
-                false
+        let Inner { storage, stats } = &mut *g;
+        match storage {
+            Storage::Resident { map, ram } => {
+                use std::collections::hash_map::Entry;
+                match map.entry(fp) {
+                    Entry::Occupied(mut o) => {
+                        o.get_mut().refcount = o.get().refcount.saturating_add(1);
+                        false
+                    }
+                    Entry::Vacant(v) => {
+                        v.insert(entry);
+                        ram.insert(fp);
+                        stats.recovered_entries += 1;
+                        true
+                    }
+                }
             }
-            Entry::Vacant(v) => {
-                v.insert(entry);
-                g.ram.insert(fp);
+            Storage::Disk(d) => {
+                if let Some(slot) = d.cache.get_mut(&fp) {
+                    if let Some(e) = slot.entry.as_mut() {
+                        e.refcount = e.refcount.saturating_add(1);
+                        slot.dirty = true;
+                        d.lru.touch(&fp);
+                        return false;
+                    }
+                    slot.entry = Some(entry);
+                    slot.dirty = true;
+                    d.lru.touch(&fp);
+                    d.filter_insert(&fp);
+                    d.live += 1;
+                    stats.recovered_entries += 1;
+                    return true;
+                }
+                if d.filter.contains(&fp) {
+                    if let (Some(Some(mut existing)), _) = d.probe(&fp) {
+                        existing.refcount = existing.refcount.saturating_add(1);
+                        d.admit(
+                            fp,
+                            CacheSlot { entry: Some(existing), dirty: true, on_disk: true },
+                        );
+                        return false;
+                    }
+                }
+                d.admit(fp, CacheSlot { entry: Some(entry), dirty: true, on_disk: false });
+                d.filter_insert(&fp);
+                d.live += 1;
+                stats.recovered_entries += 1;
                 true
             }
         }
@@ -158,74 +779,181 @@ impl IndexPartition {
 
     /// Repoints an entry at a new `(container, offset)` placement while
     /// preserving its length and reference count — the vacuum relocation
-    /// primitive. Like [`IndexPartition::bump_or_insert`] this models a
-    /// state mutation, not a query: no cache or statistics accounting.
-    /// Returns false (and changes nothing) if the fingerprint is absent.
+    /// primitive. The relocated entry becomes cache-resident and
+    /// most-recently-used: a hot entry must not be charged a disk read on
+    /// its next lookup just because vacuum moved it. Returns false (and
+    /// changes nothing) if the fingerprint is absent.
     pub fn update_placement(&self, fp: &Fingerprint, container: u64, offset: u32) -> bool {
         let mut g = self.inner.lock();
-        match g.map.get_mut(fp) {
-            Some(entry) => {
-                entry.container = container;
-                entry.offset = offset;
-                true
+        match &mut g.storage {
+            Storage::Resident { map, ram } => match map.get_mut(fp) {
+                Some(entry) => {
+                    entry.container = container;
+                    entry.offset = offset;
+                    ram.insert(*fp);
+                    true
+                }
+                None => false,
+            },
+            Storage::Disk(d) => {
+                if let Some(slot) = d.cache.get_mut(fp) {
+                    if let Some(e) = slot.entry.as_mut() {
+                        e.container = container;
+                        e.offset = offset;
+                        slot.dirty = true;
+                        d.lru.touch(fp);
+                        return true;
+                    }
+                    return false;
+                }
+                if !d.filter.contains(fp) {
+                    return false;
+                }
+                match d.probe(fp) {
+                    (Some(Some(mut e)), _) => {
+                        e.container = container;
+                        e.offset = offset;
+                        d.admit(*fp, CacheSlot { entry: Some(e), dirty: true, on_disk: true });
+                        true
+                    }
+                    _ => false,
+                }
             }
-            None => false,
         }
     }
 
     /// Replaces the partition's contents with exactly `entries` — the
     /// recovery reconciliation primitive. Entries absent from `entries`
     /// are pruned (a stale snapshot resurrected them), present ones take
-    /// the given refcount/placement verbatim. Returns `(pruned, added)`
-    /// counts relative to the previous contents.
+    /// the given refcount/placement verbatim; newly materialised entries
+    /// count as `recovered_entries`. Returns `(pruned, added)` counts
+    /// relative to the previous contents.
     pub fn reconcile(
         &self,
         entries: impl IntoIterator<Item = (Fingerprint, ChunkEntry)>,
     ) -> (usize, usize) {
         let mut g = self.inner.lock();
-        let before = g.map.len();
-        let mut kept = 0usize;
-        let mut added = 0usize;
-        let mut next: HashMap<Fingerprint, ChunkEntry> = HashMap::new();
-        for (fp, e) in entries {
-            if g.map.contains_key(&fp) {
-                kept += 1;
-            } else {
-                added += 1;
+        let Inner { storage, stats } = &mut *g;
+        match storage {
+            Storage::Resident { map, ram } => {
+                let before = map.len();
+                let mut kept = 0usize;
+                let mut added = 0usize;
+                let mut next: HashMap<Fingerprint, ChunkEntry> = HashMap::new();
+                for (fp, e) in entries {
+                    if map.contains_key(&fp) {
+                        kept += 1;
+                    } else {
+                        added += 1;
+                    }
+                    next.insert(fp, e);
+                    ram.insert(fp);
+                }
+                let mut stale: Vec<Fingerprint> = map.keys().copied().collect();
+                stale.sort_unstable();
+                for fp in stale {
+                    if !next.contains_key(&fp) {
+                        ram.remove(&fp);
+                    }
+                }
+                let pruned = before - kept;
+                *map = next;
+                stats.recovered_entries += added as u64;
+                (pruned, added)
             }
-            next.insert(fp, e);
-            g.ram.insert(fp);
-        }
-        let mut stale: Vec<Fingerprint> = g.map.keys().copied().collect();
-        stale.sort_unstable();
-        for fp in stale {
-            if !next.contains_key(&fp) {
-                g.ram.remove(&fp);
+            Storage::Disk(d) => {
+                let mut sorted: Vec<(Fingerprint, ChunkEntry)> = entries.into_iter().collect();
+                sorted.sort_by_key(|(f, _)| *f);
+                // Last write wins on duplicate keys, matching the
+                // resident arm's HashMap semantics.
+                sorted.reverse();
+                sorted.dedup_by_key(|(f, _)| *f);
+                sorted.reverse();
+                let before = d.live as usize;
+                let mut kept = 0usize;
+                for (f, _) in &sorted {
+                    if d.exists(f) {
+                        kept += 1;
+                    }
+                }
+                let added = sorted.len() - kept;
+                if let Err(e) = d.replace_all(&sorted) {
+                    d.poison(&e);
+                }
+                stats.recovered_entries += added as u64;
+                (before - kept, added)
             }
         }
-        let pruned = before - kept;
-        g.map = next;
-        (pruned, added)
     }
 
     /// Decrements the reference count; removes and returns the entry when
     /// it reaches zero.
     pub fn release(&self, fp: &Fingerprint) -> Option<ChunkEntry> {
         let mut g = self.inner.lock();
-        let entry = g.map.get_mut(fp)?;
-        entry.refcount = entry.refcount.saturating_sub(1);
-        if entry.refcount == 0 {
-            let removed = g.map.remove(fp);
-            g.ram.remove(fp);
-            removed
-        } else {
-            None
+        match &mut g.storage {
+            Storage::Resident { map, ram } => {
+                let entry = map.get_mut(fp)?;
+                entry.refcount = entry.refcount.saturating_sub(1);
+                if entry.refcount == 0 {
+                    let removed = map.remove(fp);
+                    ram.remove(fp);
+                    removed
+                } else {
+                    None
+                }
+            }
+            Storage::Disk(d) => {
+                if let Some(slot) = d.cache.get_mut(fp) {
+                    let e = slot.entry.as_mut()?;
+                    e.refcount = e.refcount.saturating_sub(1);
+                    let after = *e;
+                    slot.dirty = true;
+                    if after.refcount == 0 {
+                        if slot.on_disk {
+                            // Tombstone shadows the stale disk record.
+                            slot.entry = None;
+                        } else {
+                            d.cache.remove(fp);
+                            d.lru.remove(fp);
+                        }
+                        d.filter.delete(fp);
+                        d.live = d.live.saturating_sub(1);
+                        return Some(after);
+                    }
+                    d.lru.touch(fp);
+                    return None;
+                }
+                if !d.filter.contains(fp) {
+                    return None;
+                }
+                match d.probe(fp) {
+                    (Some(Some(mut e)), _) => {
+                        e.refcount = e.refcount.saturating_sub(1);
+                        if e.refcount == 0 {
+                            d.admit(*fp, CacheSlot { entry: None, dirty: true, on_disk: true });
+                            d.filter.delete(fp);
+                            d.live = d.live.saturating_sub(1);
+                            Some(e)
+                        } else {
+                            d.admit(
+                                *fp,
+                                CacheSlot { entry: Some(e), dirty: true, on_disk: true },
+                            );
+                            None
+                        }
+                    }
+                    _ => None,
+                }
+            }
         }
     }
 
     /// Number of live entries.
     pub fn len(&self) -> usize {
-        self.inner.lock().map.len()
+        match &self.inner.lock().storage {
+            Storage::Resident { map, .. } => map.len(),
+            Storage::Disk(d) => d.live as usize,
+        }
     }
 
     /// True when the partition is empty.
@@ -238,24 +966,99 @@ impl IndexPartition {
         self.inner.lock().stats
     }
 
+    /// Measured RAM footprint (cache slots, filter table, segment
+    /// fences). For a resident partition this is the whole map.
+    pub fn ram_footprint(&self) -> RamFootprint {
+        let g = self.inner.lock();
+        match &g.storage {
+            Storage::Resident { map, .. } => RamFootprint {
+                cache_entries: map.len(),
+                cache_capacity: self.ram_capacity,
+                filter_bytes: 0,
+                fence_bytes: 0,
+                segments: 0,
+                approx_bytes: map.len() * ENTRY_COST,
+            },
+            Storage::Disk(d) => d.footprint(),
+        }
+    }
+
     /// Iterates over all `(fingerprint, entry)` pairs into a vector
     /// (used by the snapshot codec). Sorted by fingerprint so snapshot
-    /// bytes do not depend on `HashMap` iteration order.
+    /// bytes do not depend on storage layout.
     pub fn dump(&self) -> Vec<(Fingerprint, ChunkEntry)> {
-        let g = self.inner.lock();
-        let mut entries: Vec<(Fingerprint, ChunkEntry)> =
-            g.map.iter().map(|(k, v)| (*k, *v)).collect();
-        entries.sort_unstable_by_key(|(fp, _)| *fp);
-        entries
+        let mut g = self.inner.lock();
+        match &mut g.storage {
+            Storage::Resident { map, .. } => {
+                let mut entries: Vec<(Fingerprint, ChunkEntry)> =
+                    map.iter().map(|(k, v)| (*k, *v)).collect();
+                entries.sort_unstable_by_key(|(fp, _)| *fp);
+                entries
+            }
+            Storage::Disk(d) => d.dump(),
+        }
     }
 
     /// Bulk-loads entries (used by the snapshot codec). Existing entries
     /// with the same fingerprint are overwritten.
     pub fn load(&self, entries: impl IntoIterator<Item = (Fingerprint, ChunkEntry)>) {
         let mut g = self.inner.lock();
-        for (fp, e) in entries {
-            g.map.insert(fp, e);
-            g.ram.insert(fp);
+        match &mut g.storage {
+            Storage::Resident { map, ram } => {
+                for (fp, e) in entries {
+                    map.insert(fp, e);
+                    ram.insert(fp);
+                }
+            }
+            Storage::Disk(d) => {
+                let mut sorted: Vec<(Fingerprint, ChunkEntry)> = entries.into_iter().collect();
+                if sorted.is_empty() {
+                    return;
+                }
+                sorted.sort_by_key(|(f, _)| *f);
+                sorted.reverse();
+                sorted.dedup_by_key(|(f, _)| *f);
+                sorted.reverse();
+                // New keys join the live count and the filter; existing
+                // keys are overwritten by segment shadowing.
+                let mut fresh: Vec<Fingerprint> = Vec::new();
+                for (f, _) in &sorted {
+                    if !d.exists(f) {
+                        fresh.push(*f);
+                    }
+                }
+                // Stale cache slots for loaded keys must not shadow the
+                // new records.
+                for (f, _) in &sorted {
+                    if d.cache.remove(f).is_some() {
+                        d.lru.remove(f);
+                    }
+                }
+                let write = (|| -> Result<(), SegmentError> {
+                    d.init()?;
+                    let seq = d.next_seq;
+                    let seg =
+                        Segment::write(&d.dir, seq, sorted.iter().map(|(f, e)| (*f, Some(*e))))?;
+                    d.next_seq += 1;
+                    d.segments.push(seg);
+                    Ok(())
+                })();
+                if let Err(e) = write {
+                    d.poison(&e);
+                    return;
+                }
+                for f in &fresh {
+                    d.live += 1;
+                    // Keys loaded straight to disk are not cache-resident;
+                    // insert into the filter directly (rebuild on overflow
+                    // scans segments, which now include them).
+                    if d.filter.insert(f).is_err() {
+                        if let Err(e) = d.rebuild_filter() {
+                            d.poison(&e);
+                        }
+                    }
+                }
+            }
         }
     }
 }
@@ -267,6 +1070,16 @@ mod tests {
 
     fn fp(n: u64) -> Fingerprint {
         Fingerprint::compute(HashAlgorithm::Sha1, &n.to_le_bytes())
+    }
+
+    fn disk_partition(ram: usize, tag: &str) -> (IndexPartition, PathBuf) {
+        let dir = std::env::temp_dir().join(format!(
+            "aadedupe-part-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        (IndexPartition::disk_backed(ram, dir.clone()), dir)
     }
 
     #[test]
@@ -377,6 +1190,43 @@ mod tests {
     }
 
     #[test]
+    fn update_placement_keeps_entry_hot() {
+        // Regression (vacuum-then-lookup): relocating an entry must leave
+        // it cache-resident — a hot entry must not be charged a disk read
+        // on its next lookup just because vacuum moved it.
+        let p = IndexPartition::new(10);
+        for i in 0..100 {
+            p.insert(fp(i), ChunkEntry::new(1, 0, i as u32));
+        }
+        // Make fp(5) hot, then age it fully out of the cache.
+        p.lookup(&fp(5));
+        for i in 50..90 {
+            p.lookup(&fp(i));
+        }
+        // Vacuum relocates it: placement update must re-admit it.
+        assert!(p.update_placement(&fp(5), 77, 3));
+        let (outcome, _) = p.lookup_traced(&fp(5));
+        assert!(
+            matches!(outcome, LookupOutcome::HitRam(_)),
+            "relocated entry should be RAM-resident, got {outcome:?}"
+        );
+        let e = outcome.entry().unwrap();
+        assert_eq!((e.container, e.offset), (77, 3));
+    }
+
+    #[test]
+    fn bump_or_insert_counts_recovered_entries() {
+        // Regression: recovery-path inserts must be visible in stats
+        // (but as recovered_entries, keeping `inserts` query-path-only).
+        let p = IndexPartition::new(100);
+        assert!(p.bump_or_insert(fp(1), ChunkEntry::new(10, 0, 0)));
+        assert!(!p.bump_or_insert(fp(1), ChunkEntry::new(10, 0, 0)), "bump, not insert");
+        let s = p.stats();
+        assert_eq!(s.inserts, 0, "query-path inserts untouched");
+        assert_eq!(s.recovered_entries, 1);
+    }
+
+    #[test]
     fn reconcile_prunes_fixes_and_adds() {
         let p = IndexPartition::new(100);
         p.insert(fp(1), ChunkEntry::new(10, 0, 0)); // stays, refcount corrected
@@ -415,5 +1265,213 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(p.len(), 4000);
+    }
+
+    // ---- disk-backed mode ----
+
+    #[test]
+    fn disk_backed_basic_round_trip() {
+        let (p, dir) = disk_partition(8, "basic");
+        for i in 0..100 {
+            assert!(p.insert(fp(i), ChunkEntry::new(i, i, i as u32)), "i={i}");
+        }
+        assert_eq!(p.len(), 100);
+        for i in 0..100 {
+            let e = p.lookup(&fp(i)).unwrap_or_else(|| panic!("missing {i}"));
+            assert_eq!((e.len, e.container), (i, i));
+        }
+        assert!(p.io_error().is_none(), "{:?}", p.io_error());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_backed_negative_lookups_skip_disk() {
+        let (p, dir) = disk_partition(8, "neg");
+        for i in 0..200 {
+            p.insert(fp(i), ChunkEntry::new(1, 0, 0));
+        }
+        let before = p.stats();
+        for i in 10_000..10_500 {
+            let (outcome, trace) = p.lookup_traced(&fp(i));
+            assert_eq!(outcome, LookupOutcome::MissRam, "i={i}");
+            assert_eq!(trace.disk_probes, 0, "i={i}");
+        }
+        let s = p.stats();
+        assert_eq!(s.disk_reads, before.disk_reads, "no disk probes for fresh keys");
+        assert_eq!(s.filter_hits - before.filter_hits, 500);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_backed_footprint_stays_bounded() {
+        let budget = 16;
+        let (p, dir) = disk_partition(budget, "bound");
+        for i in 0..2000 {
+            p.insert(fp(i), ChunkEntry::new(1, 0, 0));
+        }
+        assert!(p.io_error().is_none(), "{:?}", p.io_error());
+        let f = p.ram_footprint();
+        assert!(
+            f.cache_entries <= budget,
+            "cache {} exceeds budget {budget}",
+            f.cache_entries
+        );
+        assert!(f.segments <= MAX_SEGMENTS + 1, "segments {} unbounded", f.segments);
+        // Entries (2000) vastly exceed RAM-resident slots.
+        assert_eq!(p.len(), 2000);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_backed_matches_resident_over_mixed_ops() {
+        // Differential: the same op sequence against resident and
+        // disk-backed partitions yields identical results and final
+        // contents.
+        let resident = IndexPartition::new(1 << 20);
+        let (disk, dir) = disk_partition(8, "diff");
+        let mut x = 99u64;
+        for step in 0..4000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let k = (x >> 33) % 300;
+            match step % 5 {
+                0 | 1 => {
+                    let e = ChunkEntry::new(k + 1, step, k as u32);
+                    assert_eq!(resident.insert(fp(k), e), disk.insert(fp(k), e), "step {step}");
+                }
+                2 => {
+                    assert_eq!(
+                        resident.lookup(&fp(k)).map(|e| (e.len, e.container, e.refcount)),
+                        disk.lookup(&fp(k)).map(|e| (e.len, e.container, e.refcount)),
+                        "step {step}"
+                    );
+                }
+                3 => {
+                    assert_eq!(
+                        resident.release(&fp(k)).map(|e| e.len),
+                        disk.release(&fp(k)).map(|e| e.len),
+                        "step {step}"
+                    );
+                }
+                _ => {
+                    assert_eq!(
+                        resident.update_placement(&fp(k), step, 7),
+                        disk.update_placement(&fp(k), step, 7),
+                        "step {step}"
+                    );
+                }
+            }
+        }
+        assert!(disk.io_error().is_none(), "{:?}", disk.io_error());
+        assert_eq!(resident.len(), disk.len());
+        assert_eq!(resident.dump(), disk.dump(), "final contents identical");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_backed_release_and_resurrect() {
+        let (p, dir) = disk_partition(4, "rr");
+        for i in 0..50 {
+            p.insert(fp(i), ChunkEntry::new(i + 1, 0, 0));
+        }
+        // Entry 3 spilled to disk by now; release it to zero.
+        let removed = p.release(&fp(3)).expect("refcount 1 → removed");
+        assert_eq!(removed.len, 4);
+        assert!(p.lookup(&fp(3)).is_none(), "tombstone shadows disk record");
+        assert_eq!(p.len(), 49);
+        // Re-insert under the same fingerprint.
+        assert!(p.insert(fp(3), ChunkEntry::new(99, 9, 9)));
+        assert_eq!(p.lookup(&fp(3)).unwrap().len, 99);
+        assert_eq!(p.len(), 50);
+        assert!(p.io_error().is_none(), "{:?}", p.io_error());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_backed_dump_load_reconcile() {
+        let (p, dir) = disk_partition(8, "dlr");
+        for i in 0..300 {
+            p.insert(fp(i), ChunkEntry::new(i, i, 0));
+        }
+        let dumped = p.dump();
+        assert_eq!(dumped.len(), 300);
+        let (q, dir2) = disk_partition(8, "dlr2");
+        q.load(dumped.clone());
+        assert_eq!(q.len(), 300);
+        assert_eq!(q.dump(), dumped);
+        // Reconcile down to a subset with fixed refcounts.
+        let truth: Vec<(Fingerprint, ChunkEntry)> = (0..100u64)
+            .map(|i| {
+                let mut e = ChunkEntry::new(i, i, 0);
+                e.refcount = 2;
+                (fp(i), e)
+            })
+            .collect();
+        let (pruned, added) = q.reconcile(truth);
+        assert_eq!((pruned, added), (200, 0));
+        assert_eq!(q.len(), 100);
+        assert!(q.lookup(&fp(250)).is_none());
+        assert_eq!(q.lookup(&fp(50)).unwrap().refcount, 3);
+        assert!(q.io_error().is_none(), "{:?}", q.io_error());
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&dir2);
+    }
+
+    #[test]
+    fn disk_backed_update_placement_admits_to_cache() {
+        let (p, dir) = disk_partition(4, "vac");
+        for i in 0..64 {
+            p.insert(fp(i), ChunkEntry::new(1, 0, i as u32));
+        }
+        // fp(0) is long evicted; relocate it, then expect a RAM hit.
+        assert!(p.update_placement(&fp(0), 55, 4));
+        let (outcome, trace) = p.lookup_traced(&fp(0));
+        assert!(matches!(outcome, LookupOutcome::HitRam(_)), "got {outcome:?}");
+        assert_eq!(trace.disk_probes, 0);
+        let e = outcome.entry().unwrap();
+        assert_eq!((e.container, e.offset), (55, 4));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_backed_filter_rebuild_survives_growth() {
+        // Push far past the initial 1024-capacity filter; the transparent
+        // rebuild must keep every live key findable.
+        let (p, dir) = disk_partition(16, "grow");
+        for i in 0..3000 {
+            p.insert(fp(i), ChunkEntry::new(i, 0, 0));
+        }
+        assert!(p.io_error().is_none(), "{:?}", p.io_error());
+        for i in (0..3000).step_by(37) {
+            assert!(p.lookup(&fp(i)).is_some(), "i={i}");
+        }
+        assert_eq!(p.len(), 3000);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_backed_io_error_is_sticky_and_degrades() {
+        let (p, dir) = disk_partition(4, "err");
+        for i in 0..40 {
+            p.insert(fp(i), ChunkEntry::new(i, 0, 0));
+        }
+        assert!(p.io_error().is_none());
+        // Sabotage: truncate the segment files behind the partition's
+        // back (the partition holds open handles to the same inodes, so
+        // truncation — unlike unlink — breaks its reads).
+        let mut truncated = 0;
+        if let Ok(entries) = std::fs::read_dir(&dir) {
+            for e in entries.flatten() {
+                let f = std::fs::OpenOptions::new().write(true).open(e.path()).unwrap();
+                f.set_len(0).unwrap();
+                truncated += 1;
+            }
+        }
+        assert!(truncated > 0, "expected segments on disk");
+        // A lookup that needs a disk probe now degrades to a miss and
+        // poisons the partition.
+        let evicted: Vec<u64> = (0..40).filter(|i| p.peek(&fp(*i)).is_none()).collect();
+        assert!(!evicted.is_empty(), "some key must need a disk probe");
+        assert!(p.io_error().is_some(), "probe failure must stick");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -142,6 +142,12 @@ pub enum Counter {
     ChunkBytes,
     /// Index lookups that the storage model charged a disk probe for.
     IndexDiskProbes,
+    /// Negative index lookups answered by the existence filter with zero
+    /// disk probes (disk-backed partitions only).
+    FilterHits,
+    /// Index lookups the existence filter passed that then found nothing
+    /// on disk — its false positives (disk-backed partitions only).
+    FilterFalsePositives,
     /// Chunks appended to containers (unique chunks + tiny payloads).
     ContainerAppends,
     /// Containers sealed.
@@ -187,13 +193,15 @@ pub enum Counter {
 
 impl Counter {
     /// Every counter.
-    pub const ALL: [Counter; 23] = [
+    pub const ALL: [Counter; 25] = [
         Counter::FilesClassified,
         Counter::ChunksCdc,
         Counter::ChunksSc,
         Counter::ChunksWfc,
         Counter::ChunkBytes,
         Counter::IndexDiskProbes,
+        Counter::FilterHits,
+        Counter::FilterFalsePositives,
         Counter::ContainerAppends,
         Counter::ContainersSealed,
         Counter::SealedBytes,
@@ -222,6 +230,8 @@ impl Counter {
             Counter::ChunksWfc => "chunks_wfc",
             Counter::ChunkBytes => "chunk_bytes",
             Counter::IndexDiskProbes => "index_disk_probes",
+            Counter::FilterHits => "filter_hits",
+            Counter::FilterFalsePositives => "filter_false_positives",
             Counter::ContainerAppends => "container_appends",
             Counter::ContainersSealed => "containers_sealed",
             Counter::SealedBytes => "sealed_bytes",
