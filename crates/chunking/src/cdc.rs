@@ -67,6 +67,7 @@ impl CdcChunker {
         // Prime the window with the `window` bytes preceding the first
         // candidate cut at `min_size`.
         rh.reset();
+        // aalint: allow(panic-path) -- validate() pins window <= min_size, and data.len() > min_size was checked above
         for &b in &data[min_size - window..min_size] {
             rh.push(b);
         }
@@ -77,7 +78,9 @@ impl CdcChunker {
             return min_size;
         }
         for len in min_size + 1..=upper {
+            // aalint: allow(panic-path) -- len ranges over min_size+1..=upper with upper <= data.len()
             let incoming = data[len - 1];
+            // aalint: allow(panic-path) -- len - 1 - window >= min_size - window >= 0 by validate()
             let outgoing = data[len - 1 - window];
             rh.roll(outgoing, incoming);
             if rh.value() & mask == magic {
@@ -103,6 +106,7 @@ impl CdcChunker {
         let mut start = 0usize;
         let mut rh = self.hasher.clone();
         while start < data.len() {
+            // aalint: allow(panic-path) -- start < data.len() is the loop guard
             let cut = start + self.cut_with(&mut rh, &data[start..]);
             cuts.push(cut);
             start = cut;

@@ -89,6 +89,7 @@ impl FastCdcChunker {
         // Small region [min_size, normal): the stricter mask makes
         // boundaries rare, pushing cuts toward the target size.
         while i < normal {
+            // aalint: allow(panic-path) -- i < normal <= n = data.len(), and GEAR is a full [u64; 256] indexed by a byte
             fp = (fp << 1).wrapping_add(GEAR[data[i] as usize]);
             if fp & self.mask_small == 0 {
                 return i + 1;
@@ -98,6 +99,7 @@ impl FastCdcChunker {
         // Large region [normal, n): the looser mask makes boundaries
         // likely, so few chunks reach the forced cut at max_size.
         while i < n {
+            // aalint: allow(panic-path) -- i < n = data.len(), and GEAR is a full [u64; 256] indexed by a byte
             fp = (fp << 1).wrapping_add(GEAR[data[i] as usize]);
             if fp & self.mask_large == 0 {
                 return i + 1;
@@ -113,6 +115,7 @@ impl FastCdcChunker {
         let mut cuts = Vec::new();
         let mut start = 0usize;
         while start < data.len() {
+            // aalint: allow(panic-path) -- start < data.len() is the loop guard
             let cut = start + self.first_cut(&data[start..]);
             cuts.push(cut);
             start = cut;

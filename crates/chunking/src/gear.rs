@@ -76,6 +76,7 @@ pub const GEAR: [u64; 256] = build_gear_table();
 /// `bits` must be in `1..=48`; the positions are strictly decreasing from
 /// bit 63, so the popcount is exactly `bits`.
 pub const fn spread_mask(bits: u32) -> u64 {
+    // aalint: allow(panic-path) -- compile-time parameter validation; every call site passes a literal bit count
     assert!(bits >= 1 && bits <= 48, "mask bits must be in 1..=48");
     let span = 63 - MIN_MASK_BIT; // inclusive position range 16..=63
     let mut mask = 0u64;

@@ -117,6 +117,7 @@ impl ChunkSpan {
 
     /// The chunk's bytes within `source`.
     pub fn slice<'a>(&self, source: &'a [u8]) -> &'a [u8] {
+        // aalint: allow(panic-path) -- spans are produced against this buffer; slicing a different source is a caller bug worth a loud panic
         &source[self.offset..self.end()]
     }
 }

@@ -24,6 +24,7 @@ impl Default for ScChunker {
 impl ScChunker {
     /// Chunker with the given fixed chunk size (must be nonzero).
     pub fn new(chunk_size: usize) -> Self {
+        // aalint: allow(panic-path) -- construction-time parameter validation: a zero chunk size is a caller bug
         assert!(chunk_size > 0, "chunk size must be nonzero");
         ScChunker { chunk_size }
     }

@@ -117,6 +117,7 @@ impl<R: Read> StreamChunker<R> {
         while !self.eof && self.buf.len() < target {
             match self.reader.read(&mut scratch) {
                 Ok(0) => self.eof = true,
+                // aalint: allow(panic-path) -- Read contract: a conforming reader returns n <= scratch.len()
                 Ok(n) => self.buf.extend_from_slice(&scratch[..n]),
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
                 Err(e) => {
@@ -201,6 +202,7 @@ impl<R: Read> Iterator for StreamChunker<R> {
                     cdc.first_cut(&self.buf)
                 } else {
                     let upper = cdc.params().max_size.min(self.buf.len());
+                    // aalint: allow(panic-path) -- upper is clamped to buf.len() on the previous line
                     cdc.first_cut(&self.buf[..upper])
                 };
                 (cut, ChunkingMethod::Cdc)

@@ -298,6 +298,7 @@ impl ObjectBackend for FaultInjectingBackend {
             Some((_, Some(keep))) => {
                 // Torn write: the partial object lands, the put still fails.
                 let keep = keep.min(bytes.len());
+                // aalint: allow(panic-path) -- keep was clamped to bytes.len() on the line above
                 self.inner.put(key, bytes[..keep].to_vec())?;
                 Err(BackendError::transient(
                     BackendOp::Put,

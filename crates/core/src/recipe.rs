@@ -89,6 +89,7 @@ impl Manifest {
         out.extend_from_slice(&(self.files.len() as u64).to_le_bytes());
         for f in &self.files {
             let path = f.path.as_bytes();
+            // aalint: allow(panic-path) -- the format caps the path field at u16; a 64 KiB path is a generator bug worth a loud panic
             assert!(path.len() <= u16::MAX as usize, "path too long");
             out.extend_from_slice(&(path.len() as u16).to_le_bytes());
             out.extend_from_slice(path);
@@ -113,6 +114,7 @@ impl Manifest {
             if buf.len() - *pos < n {
                 return Err(BackupError::Corrupt("manifest: truncated".into()));
             }
+            // aalint: allow(panic-path) -- guarded by the buf.len() - pos < n check above
             let s = &buf[*pos..*pos + n];
             *pos += n;
             Ok(s)
@@ -139,6 +141,7 @@ impl Manifest {
             }
             let mut chunks = Vec::with_capacity(nchunks);
             for _ in 0..nchunks {
+                // aalint: allow(panic-path) -- pos only advances through bounds-checked take() and decode()'s consumed count
                 let (fingerprint, used) = Fingerprint::decode(&buf[pos..])
                     .ok_or_else(|| corrupt("bad fingerprint"))?;
                 pos += used;

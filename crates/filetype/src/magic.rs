@@ -63,6 +63,7 @@ const SIGNATURES: &[Signature] = &[
 pub fn sniff(head: &[u8]) -> Option<AppType> {
     for sig in SIGNATURES {
         let end = sig.offset + sig.pattern.len();
+        // aalint: allow(panic-path) -- head.len() >= end short-circuits before the slice
         if head.len() >= end && &head[sig.offset..end] == sig.pattern {
             return Some(sig.app);
         }

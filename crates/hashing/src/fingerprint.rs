@@ -121,6 +121,7 @@ impl Fingerprint {
 
     /// Digest bytes (length = `self.algorithm().digest_len()`).
     pub fn digest(&self) -> &[u8] {
+        // aalint: allow(panic-path) -- digest_len() <= 20 = bytes.len() for every HashAlgorithm variant
         &self.bytes[..self.algo.digest_len()]
     }
 
@@ -147,6 +148,7 @@ impl Fingerprint {
             return None;
         }
         let mut bytes = [0u8; 20];
+        // aalint: allow(panic-path) -- len = digest_len() <= 20, and input.len() >= 1 + len was checked above
         bytes[..len].copy_from_slice(&input[1..1 + len]);
         Some((Fingerprint { algo, bytes }, 1 + len))
     }

@@ -61,7 +61,9 @@ pub fn to_hex(bytes: &[u8]) -> String {
     const HEX: &[u8; 16] = b"0123456789abcdef";
     let mut s = String::with_capacity(bytes.len() * 2);
     for &b in bytes {
+        // aalint: allow(panic-path) -- a nibble is < 16 = HEX.len()
         s.push(HEX[(b >> 4) as usize] as char);
+        // aalint: allow(panic-path) -- a nibble is < 16 = HEX.len()
         s.push(HEX[(b & 0xf) as usize] as char);
     }
     s

@@ -67,8 +67,10 @@ impl Md5 {
         let mut data = data;
         if self.buf_len > 0 {
             let take = (64 - self.buf_len).min(data.len());
+            // aalint: allow(panic-path) -- take = (64 - buf_len).min(data.len()) with buf_len < 64 invariant: both slices in bounds
             self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
             self.buf_len += take;
+            // aalint: allow(panic-path) -- take <= data.len() by the min() above
             data = &data[take..];
             if self.buf_len == 64 {
                 let block = self.buf;
@@ -89,6 +91,7 @@ impl Md5 {
             self.compress(&b);
         }
         let rem = chunks.remainder();
+        // aalint: allow(panic-path) -- chunks_exact(64) remainder is < 64 = buf.len()
         self.buf[..rem.len()].copy_from_slice(rem);
         self.buf_len = rem.len();
     }
@@ -118,9 +121,13 @@ impl Md5 {
         let mut m = [0u32; 16];
         for (i, w) in m.iter_mut().enumerate() {
             *w = u32::from_le_bytes([
+                // aalint: allow(panic-path) -- i < 16, so i * 4 + 3 < 64 = block.len()
                 block[i * 4],
+                // aalint: allow(panic-path) -- i < 16 bound as above
                 block[i * 4 + 1],
+                // aalint: allow(panic-path) -- i < 16 bound as above
                 block[i * 4 + 2],
+                // aalint: allow(panic-path) -- i < 16 bound as above
                 block[i * 4 + 3],
             ]);
         }
@@ -138,8 +145,11 @@ impl Md5 {
             c = b;
             let sum = a
                 .wrapping_add(f)
+                // aalint: allow(panic-path) -- i < 64 and K is a full [u32; 64]
                 .wrapping_add(K[i])
+                // aalint: allow(panic-path) -- g < 16 by the % 16 in every arm; m is [u32; 16]
                 .wrapping_add(m[g]);
+            // aalint: allow(panic-path) -- i < 64 and S is a full [u32; 64]
             b = b.wrapping_add(sum.rotate_left(S[i]));
             a = tmp;
         }

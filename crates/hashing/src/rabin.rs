@@ -46,6 +46,7 @@ pub mod gf2 {
     /// Remainder of `a` modulo `m` (schoolbook long division).
     pub fn pmod(mut a: u64, m: u64) -> u64 {
         let dm = degree(m);
+        // aalint: allow(panic-path) -- precondition on an internal GF(2) helper: a zero modulus is a construction bug upstream
         assert!(dm >= 0, "modulus must be nonzero");
         while degree(a) >= dm {
             a ^= m << (degree(a) - dm);
@@ -160,6 +161,7 @@ struct Tables {
 impl Tables {
     fn new(poly: u64) -> Self {
         let degree = gf2::degree(poly);
+        // aalint: allow(panic-path) -- construction-time parameter validation: an out-of-range modulus degree is a caller bug
         assert!((9..=56).contains(&degree), "modulus degree out of range");
         let degree = degree as u32;
         let mut push = [0u64; 256];
@@ -174,6 +176,7 @@ impl Tables {
     #[inline(always)]
     fn push_byte(&self, fp: u64, byte: u8) -> u64 {
         let top = (fp >> (self.degree - 8)) as usize & 0xff;
+        // aalint: allow(panic-path) -- top is masked to 0xff and push is a full [u64; 256]
         ((fp << 8) | byte as u64) ^ self.push[top]
     }
 }
@@ -196,6 +199,7 @@ struct Tables32 {
 
 impl Tables32 {
     fn new(poly: u64) -> Self {
+        // aalint: allow(panic-path) -- construction-time validation: the 32-bit slicing tables are built only from POLY_31
         assert_eq!(gf2::degree(poly), 31, "slicing tables require a degree-31 modulus");
         let mut t = [[0u32; 256]; 4];
         for (k, table) in t.iter_mut().enumerate() {
@@ -215,9 +219,13 @@ impl Tables32 {
         // fingerprint's bytes via the tables.
         let w_red = w ^ (self.poly * (w >> 31));
         w_red
+            // aalint: allow(panic-path) -- index masked to 0xff; t[k] is a full [u32; 256]
             ^ self.t[0][(fp & 0xff) as usize]
+            // aalint: allow(panic-path) -- index masked to 0xff
             ^ self.t[1][((fp >> 8) & 0xff) as usize]
+            // aalint: allow(panic-path) -- index masked to 0xff
             ^ self.t[2][((fp >> 16) & 0xff) as usize]
+            // aalint: allow(panic-path) -- fp >> 24 of a u32 is < 256
             ^ self.t[3][(fp >> 24) as usize]
     }
 }
@@ -378,6 +386,7 @@ impl RollingHash {
 
     /// Rolling hash with a caller-supplied irreducible modulus.
     pub fn with_poly(window: usize, poly: u64) -> Self {
+        // aalint: allow(panic-path) -- construction-time parameter validation: a zero window is a caller bug
         assert!(window > 0, "window must be nonzero");
         let tables = Tables::new(poly);
         let xw = gf2::xpowmod(8 * (window as u64 - 1), poly);
@@ -409,6 +418,7 @@ impl RollingHash {
     /// Slides the window one byte: `outgoing` leaves, `incoming` enters.
     #[inline(always)]
     pub fn roll(&mut self, outgoing: u8, incoming: u8) {
+        // aalint: allow(panic-path) -- outgoing is a u8 and pop is a full [u64; 256]
         let fp = self.fp ^ self.pop[outgoing as usize];
         self.fp = self.tables.push_byte(fp, incoming);
     }
@@ -427,6 +437,7 @@ impl RollingHash {
     /// Non-rolling reference: the fingerprint a window-sized slice would
     /// have after being pushed byte-by-byte into a fresh state.
     pub fn hash_window(window_bytes: &[u8], window: usize) -> u64 {
+        // aalint: allow(panic-path) -- reference-path precondition: callers pass a slice they sized to the window
         assert_eq!(window_bytes.len(), window);
         let mut rh = RollingHash::new(window);
         for &b in window_bytes {

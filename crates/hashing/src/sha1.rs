@@ -46,8 +46,10 @@ impl Sha1 {
         let mut data = data;
         if self.buf_len > 0 {
             let take = (64 - self.buf_len).min(data.len());
+            // aalint: allow(panic-path) -- take = (64 - buf_len).min(data.len()) with buf_len < 64 invariant: both slices in bounds
             self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
             self.buf_len += take;
+            // aalint: allow(panic-path) -- take <= data.len() by the min() above
             data = &data[take..];
             if self.buf_len == 64 {
                 let block = self.buf;
@@ -68,6 +70,7 @@ impl Sha1 {
             self.compress(&b);
         }
         let rem = chunks.remainder();
+        // aalint: allow(panic-path) -- chunks_exact(64) remainder is < 64 = buf.len()
         self.buf[..rem.len()].copy_from_slice(rem);
         self.buf_len = rem.len();
     }
@@ -95,13 +98,18 @@ impl Sha1 {
         let mut w = [0u32; 80];
         for (i, word) in w.iter_mut().take(16).enumerate() {
             *word = u32::from_be_bytes([
+                // aalint: allow(panic-path) -- i < 16, so i * 4 + 3 < 64 = block.len()
                 block[i * 4],
+                // aalint: allow(panic-path) -- i < 16 bound as above
                 block[i * 4 + 1],
+                // aalint: allow(panic-path) -- i < 16 bound as above
                 block[i * 4 + 2],
+                // aalint: allow(panic-path) -- i < 16 bound as above
                 block[i * 4 + 3],
             ]);
         }
         for i in 16..80 {
+            // aalint: allow(panic-path) -- i ranges over 16..80 and w is [u32; 80]; i - 16 >= 0
             w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
         }
 

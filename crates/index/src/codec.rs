@@ -63,6 +63,7 @@ impl<'a> Reader<'a> {
         if self.buf.len() - self.pos < n {
             return Err(CodecError::Truncated);
         }
+        // aalint: allow(panic-path) -- guarded by the buf.len() - pos < n check above
         let s = &self.buf[self.pos..self.pos + n];
         self.pos += n;
         Ok(s)
@@ -81,6 +82,7 @@ impl<'a> Reader<'a> {
     }
 
     fn fingerprint(&mut self) -> Result<Fingerprint, CodecError> {
+        // aalint: allow(panic-path) -- pos only advances through bounds-checked take() and decode()'s consumed count
         let rest = &self.buf[self.pos..];
         let (fp, used) = Fingerprint::decode(rest).ok_or(CodecError::BadFingerprint)?;
         self.pos += used;

@@ -87,6 +87,7 @@ impl<K: Eq + Hash + Clone> LruSet<K> {
             let lru = self.tail;
             debug_assert_ne!(lru, NIL);
             self.unlink(lru);
+            // aalint: allow(panic-path) -- tail != NIL when the map is non-empty (checked by len >= capacity with capacity >= 1)
             let old_key = self.slab[lru].key.clone();
             self.map.remove(&old_key);
             self.free.push(lru);
@@ -96,6 +97,7 @@ impl<K: Eq + Hash + Clone> LruSet<K> {
         };
         let idx = match self.free.pop() {
             Some(i) => {
+                // aalint: allow(panic-path) -- free holds only indices previously minted into slab
                 self.slab[i].key = key.clone();
                 i
             }
@@ -133,30 +135,39 @@ impl<K: Eq + Hash + Clone> LruSet<K> {
         if self.tail == NIL {
             None
         } else {
+            // aalint: allow(panic-path) -- tail != NIL was checked above
             Some(&self.slab[self.tail].key)
         }
     }
 
     fn unlink(&mut self, idx: usize) {
+        // aalint: allow(panic-path) -- idx is a live slab index: every caller passes head, tail, or a map entry
         let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
         if prev != NIL {
+            // aalint: allow(panic-path) -- prev != NIL was checked; NIL is never stored as a real neighbor
             self.slab[prev].next = next;
         } else if self.head == idx {
             self.head = next;
         }
         if next != NIL {
+            // aalint: allow(panic-path) -- next != NIL was checked
             self.slab[next].prev = prev;
         } else if self.tail == idx {
             self.tail = prev;
         }
+        // aalint: allow(panic-path) -- idx is a live slab index (see unlink)
         self.slab[idx].prev = NIL;
+        // aalint: allow(panic-path) -- idx is a live slab index (see unlink)
         self.slab[idx].next = NIL;
     }
 
     fn push_front(&mut self, idx: usize) {
+        // aalint: allow(panic-path) -- idx is a live slab index: push_front is only called with freshly minted or unlinked entries
         self.slab[idx].prev = NIL;
+        // aalint: allow(panic-path) -- idx is a live slab index (see above)
         self.slab[idx].next = self.head;
         if self.head != NIL {
+            // aalint: allow(panic-path) -- head != NIL was checked
             self.slab[self.head].prev = idx;
         }
         self.head = idx;

@@ -34,16 +34,23 @@
 
 use crate::filter::CuckooFilter;
 use crate::lru::LruSet;
-use crate::segment::{merge_segments, Segment, SegmentError};
+use crate::segment::{fnv1a, merge_segments, Segment, SegmentError, TMP_SUFFIX};
 use crate::{ChunkEntry, IndexStats};
 use aadedupe_hashing::Fingerprint;
 use parking_lot::Mutex;
-use std::collections::{BTreeMap, HashMap};
-use std::path::PathBuf;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::path::{Path, PathBuf};
 
 /// Segment-count ceiling: a flush that leaves more than this many
 /// segments triggers a full streaming compaction.
 const MAX_SEGMENTS: usize = 8;
+
+/// File name of the persisted partition manifest (filter + segment
+/// metadata) written by [`IndexPartition::persist`].
+const MANIFEST_NAME: &str = "manifest.aamft";
+
+/// Magic header identifying a partition manifest file.
+const MANIFEST_MAGIC: &[u8; 6] = b"AAMFT\x01";
 
 /// Rough per-entry RAM cost (key + slot + map/LRU overhead) used by
 /// [`RamFootprint::approx_bytes`]. Deliberately generous.
@@ -474,6 +481,265 @@ impl DiskStore {
             approx_bytes: self.cache.len() * ENTRY_COST + self.filter.mem_bytes() + fence_bytes,
         }
     }
+
+    /// Durably persists the store: flushes every dirty cache slot into a
+    /// segment, then writes the manifest — serialized filter plus each
+    /// segment's (seq, count, records-end, fence index) — with the same
+    /// tmp + `sync_all` + rename discipline segments use, under a
+    /// whole-body FNV-1a checksum. After this, [`DiskStore::reopen`]
+    /// restores the partition without reading a single segment byte.
+    fn persist(&mut self) -> Result<(), SegmentError> {
+        if let Some(e) = &self.error {
+            // Poisoned state must not be made durable.
+            return Err(SegmentError::Io(e.clone()));
+        }
+        self.flush_dirty()?;
+        self.init()?;
+        let mut body =
+            Vec::with_capacity(32 + self.filter.encoded_len() + self.segments.len() * 64);
+        body.extend_from_slice(&self.next_seq.to_le_bytes());
+        body.extend_from_slice(&self.live.to_le_bytes());
+        self.filter.encode(&mut body);
+        body.extend_from_slice(&(self.segments.len() as u64).to_le_bytes());
+        for seg in &self.segments {
+            body.extend_from_slice(&seg.seq().to_le_bytes());
+            body.extend_from_slice(&seg.count().to_le_bytes());
+            body.extend_from_slice(&seg.records_end().to_le_bytes());
+            let fences = seg.fences();
+            body.extend_from_slice(&(fences.len() as u64).to_le_bytes());
+            for (fp, off) in fences {
+                fp.encode(&mut body);
+                body.extend_from_slice(&off.to_le_bytes());
+            }
+        }
+        let path = self.dir.join(MANIFEST_NAME);
+        let tmp = self.dir.join(format!("{MANIFEST_NAME}{TMP_SUFFIX}"));
+        let result = (|| {
+            use std::io::Write as _;
+            let mut f = std::fs::File::create(&tmp)
+                .map_err(|e| manifest_io(&tmp, "create", &e))?;
+            f.write_all(MANIFEST_MAGIC).map_err(|e| manifest_io(&tmp, "write", &e))?;
+            f.write_all(&body).map_err(|e| manifest_io(&tmp, "write", &e))?;
+            f.write_all(&fnv1a(&body).to_le_bytes())
+                .map_err(|e| manifest_io(&tmp, "write", &e))?;
+            f.sync_all().map_err(|e| manifest_io(&tmp, "sync", &e))?;
+            std::fs::rename(&tmp, &path).map_err(|e| manifest_io(&path, "rename", &e))?;
+            Ok(())
+        })();
+        if result.is_err() {
+            if let Err(rm) = std::fs::remove_file(&tmp) {
+                debug_assert!(
+                    rm.kind() == std::io::ErrorKind::NotFound,
+                    "manifest tmp cleanup failed: {rm}"
+                );
+            }
+        }
+        result
+    }
+
+    /// Reopens a partition directory written by [`DiskStore::persist`].
+    /// The happy path loads the manifest, restores the filter from its
+    /// serialized state, and opens every referenced segment from its
+    /// persisted metadata — **zero segment reads**. Any manifest problem
+    /// (missing, bad magic, checksum mismatch, a referenced segment that
+    /// fails its size check) falls back to a full sweep that scans each
+    /// segment end to end, rebuilding fences and the filter from the
+    /// authoritative records.
+    fn reopen(budget: usize, dir: PathBuf) -> Self {
+        let mut store = DiskStore::new(budget, dir);
+        if !store.dir.is_dir() {
+            // Nothing persisted: behave exactly like a fresh store.
+            return store;
+        }
+        // In-flight temp files from a crashed write are inert (nothing
+        // ever reads them); clear them so they don't accumulate.
+        if let Ok(entries) = std::fs::read_dir(&store.dir) {
+            let mut stale: Vec<PathBuf> = entries
+                .flatten()
+                .map(|d| d.path())
+                .filter(|p| p.to_str().is_some_and(|s| s.ends_with(TMP_SUFFIX)))
+                .collect();
+            stale.sort_unstable();
+            for p in stale {
+                if let Err(rm) = std::fs::remove_file(&p) {
+                    debug_assert!(
+                        rm.kind() == std::io::ErrorKind::NotFound,
+                        "tmp sweep failed: {rm}"
+                    );
+                }
+            }
+        }
+        if store.load_manifest().is_err() {
+            store.segments.clear();
+            if let Err(e) = store.rebuild_from_segments() {
+                store.poison(&e);
+            }
+        }
+        // Adopted files must not be swept by the lazy fresh-session init.
+        store.initialized = true;
+        store
+    }
+
+    /// Loads the manifest and opens its segments, committing into `self`
+    /// only when the whole file parses and every segment opens. Also
+    /// sweeps segment files the manifest does not reference: they were
+    /// flushed after the last persist, so their records are absent from
+    /// the restored filter — keeping them would reintroduce exactly the
+    /// false negatives the filter contract forbids.
+    fn load_manifest(&mut self) -> Result<(), SegmentError> {
+        let path = self.dir.join(MANIFEST_NAME);
+        let buf = std::fs::read(&path).map_err(|e| manifest_io(&path, "read", &e))?;
+        if buf.len() < MANIFEST_MAGIC.len() + 8 {
+            return Err(SegmentError::Truncated);
+        }
+        if buf.get(..6) != Some(&MANIFEST_MAGIC[..]) {
+            return Err(SegmentError::BadMagic);
+        }
+        let body = buf.get(6..buf.len() - 8).ok_or(SegmentError::Truncated)?;
+        let stored = u64::from_le_bytes(
+            buf.get(buf.len() - 8..)
+                .and_then(|s| s.try_into().ok())
+                .ok_or(SegmentError::Truncated)?,
+        );
+        if fnv1a(body) != stored {
+            return Err(SegmentError::BadChecksum);
+        }
+        let mut r = ByteReader { buf: body, pos: 0 };
+        let next_seq = r.u64()?;
+        let live = r.u64()?;
+        let (filter, used) =
+            CuckooFilter::decode(r.rest()).ok_or(SegmentError::Truncated)?;
+        r.take(used)?;
+        let seg_count = r.u64()?;
+        let mut segments: Vec<Segment> = Vec::new();
+        let mut referenced: BTreeSet<u64> = BTreeSet::new();
+        for _ in 0..seg_count {
+            let seq = r.u64()?;
+            let count = r.u64()?;
+            let records_end = r.u64()?;
+            let fence_count = r.u64()?;
+            let mut fences: Vec<(Fingerprint, u64)> = Vec::new();
+            for _ in 0..fence_count {
+                let (fp, fp_used) =
+                    Fingerprint::decode(r.rest()).ok_or(SegmentError::BadFingerprint)?;
+                r.take(fp_used)?;
+                fences.push((fp, r.u64()?));
+            }
+            segments.push(Segment::open_with_metadata(
+                &self.dir,
+                seq,
+                count,
+                records_end,
+                fences,
+            )?);
+            referenced.insert(seq);
+        }
+        if r.pos != body.len() {
+            return Err(SegmentError::Truncated);
+        }
+        let entries = std::fs::read_dir(&self.dir)
+            .map_err(|e| manifest_io(&self.dir, "read dir", &e))?;
+        let mut unreferenced: Vec<PathBuf> = entries
+            .flatten()
+            .filter(|d| {
+                d.file_name()
+                    .to_str()
+                    .and_then(Segment::seq_from_name)
+                    .is_some_and(|seq| !referenced.contains(&seq))
+            })
+            .map(|d| d.path())
+            .collect();
+        unreferenced.sort_unstable();
+        for p in unreferenced {
+            // A sweep failure must abort the manifest path: a segment the
+            // filter cannot see would serve false negatives.
+            std::fs::remove_file(&p).map_err(|e| manifest_io(&p, "sweep", &e))?;
+        }
+        self.next_seq = next_seq.max(referenced.last().map_or(0, |s| s + 1));
+        self.live = live;
+        self.filter = filter;
+        self.segments = segments;
+        Ok(())
+    }
+
+    /// The manifest-less recovery path: adopts every segment file in the
+    /// directory by scanning it end to end (checksum-verified), then
+    /// rebuilds the filter and live count from the merged record set.
+    /// O(live) transient memory — the same bound the snapshot codec's
+    /// `dump` already accepts.
+    fn rebuild_from_segments(&mut self) -> Result<(), SegmentError> {
+        let entries = std::fs::read_dir(&self.dir)
+            .map_err(|e| manifest_io(&self.dir, "read dir", &e))?;
+        let mut seqs: Vec<u64> = entries
+            .flatten()
+            .filter_map(|d| d.file_name().to_str().and_then(Segment::seq_from_name))
+            .collect();
+        seqs.sort_unstable();
+        let mut segments: Vec<Segment> = Vec::new();
+        for seq in seqs {
+            segments.push(Segment::open_scan(&self.dir, seq)?);
+        }
+        self.next_seq = segments.last().map_or(1, |s| s.seq() + 1);
+        self.segments = segments;
+        let mut merged: BTreeSet<Fingerprint> = BTreeSet::new();
+        for seg in &mut self.segments {
+            let mut s = seg.stream()?;
+            while let Some((f, rec)) = s.next_record()? {
+                if rec.is_some() {
+                    merged.insert(f);
+                } else {
+                    merged.remove(&f);
+                }
+            }
+        }
+        self.live = merged.len() as u64;
+        let keys: Vec<Fingerprint> = merged.into_iter().collect();
+        self.filter = filter_from_keys(&keys)?;
+        Ok(())
+    }
+}
+
+fn manifest_io(path: &Path, what: &str, e: &std::io::Error) -> SegmentError {
+    SegmentError::Io(format!("manifest {what} {}: {e}", path.display()))
+}
+
+/// Builds a filter holding exactly `keys`, growing geometrically on
+/// overflow. The bound of eight doublings is unreachable for any real
+/// key set (it represents a 256× headroom over the initial sizing).
+fn filter_from_keys(keys: &[Fingerprint]) -> Result<CuckooFilter, SegmentError> {
+    let mut cap = (keys.len() + 2).next_power_of_two().max(1024);
+    for _ in 0..8 {
+        let mut f = CuckooFilter::with_capacity(cap);
+        if keys.iter().all(|k| f.insert(k).is_ok()) {
+            return Ok(f);
+        }
+        cap = cap.saturating_mul(2);
+    }
+    Err(SegmentError::Io("existence filter rebuild kept overflowing".to_string()))
+}
+
+/// Panic-free little-endian cursor over the manifest body.
+struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SegmentError> {
+        let end = self.pos.checked_add(n).ok_or(SegmentError::Truncated)?;
+        let s = self.buf.get(self.pos..end).ok_or(SegmentError::Truncated)?;
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u64(&mut self) -> Result<u64, SegmentError> {
+        let s = self.take(8)?;
+        Ok(u64::from_le_bytes(s.try_into().map_err(|_| SegmentError::Truncated)?))
+    }
+
+    fn rest(&self) -> &'a [u8] {
+        self.buf.get(self.pos..).unwrap_or(&[])
+    }
 }
 
 /// Storage behind a partition: the modelled resident map, or the real
@@ -524,6 +790,39 @@ impl IndexPartition {
                 stats: IndexStats::default(),
             }),
             ram_capacity,
+        }
+    }
+
+    /// Reopens a disk-backed partition from state previously made durable
+    /// by [`IndexPartition::persist`]. The persisted manifest restores the
+    /// existence filter and every segment's fence index without reading a
+    /// single segment byte; a missing or corrupt manifest falls back to a
+    /// full sweep that scans each (checksum-verified) segment to rebuild
+    /// both. Unlike [`IndexPartition::disk_backed`], existing files under
+    /// `dir` are adopted, not swept.
+    pub fn disk_backed_reopen(ram_capacity: usize, dir: PathBuf) -> Self {
+        IndexPartition {
+            inner: Mutex::new(Inner {
+                storage: Storage::Disk(DiskStore::reopen(ram_capacity, dir)),
+                stats: IndexStats::default(),
+            }),
+            ram_capacity,
+        }
+    }
+
+    /// Durably persists a disk-backed partition: flushes dirty cache
+    /// slots to a segment, then writes a checksummed manifest (filter
+    /// state + segment metadata) with the atomic-write discipline, so
+    /// [`IndexPartition::disk_backed_reopen`] can restore the partition
+    /// with zero segment reads. No-op for resident partitions (they have
+    /// no durable form; the snapshot codec covers them). Fails without
+    /// writing if the partition is poisoned — degraded state must not be
+    /// made durable.
+    pub fn persist(&self) -> Result<(), SegmentError> {
+        let mut g = self.inner.lock();
+        match &mut g.storage {
+            Storage::Resident { .. } => Ok(()),
+            Storage::Disk(d) => d.persist(),
         }
     }
 
@@ -1445,6 +1744,192 @@ mod tests {
             assert!(p.lookup(&fp(i)).is_some(), "i={i}");
         }
         assert_eq!(p.len(), 3000);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_backed_persist_reopen_round_trip() {
+        let (p, dir) = disk_partition(8, "persist");
+        for i in 0..400 {
+            p.insert(fp(i), ChunkEntry::new(i, i, i as u32));
+        }
+        // Some deletions so tombstones and filter deletes are exercised.
+        for i in (0..100).step_by(3) {
+            p.release(&fp(i));
+        }
+        let before = p.dump();
+        let live = p.len();
+        p.persist().expect("persist");
+        drop(p);
+        let q = IndexPartition::disk_backed_reopen(8, dir.clone());
+        assert!(q.io_error().is_none(), "{:?}", q.io_error());
+        assert_eq!(q.len(), live);
+        assert_eq!(q.dump(), before, "contents survive the reopen");
+        // Released keys stay gone; survivors still resolve.
+        assert!(q.lookup(&fp(0)).is_none());
+        assert_eq!(q.lookup(&fp(1)).map(|e| e.container), Some(1));
+        // The restored store keeps working as a normal partition.
+        assert!(q.insert(fp(9000), ChunkEntry::new(1, 2, 3)));
+        assert_eq!(q.len(), live + 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopen_loads_filter_and_fences_without_segment_reads() {
+        let (p, dir) = disk_partition(8, "zeroread");
+        for i in 0..500 {
+            p.insert(fp(i), ChunkEntry::new(i, 0, 0));
+        }
+        let live = p.len();
+        p.persist().expect("persist");
+        // Footprint after persist: the flush inside persist may have
+        // added the final segment the manifest then records.
+        let foot_before = p.ram_footprint();
+        drop(p);
+        // Replace every segment's content with same-length garbage: any
+        // read of segment bytes during reopen would now fail, so a clean
+        // reopen *proves* the filter and fences came from the manifest.
+        let mut clobbered = 0;
+        for e in std::fs::read_dir(&dir).unwrap().flatten() {
+            let name = e.file_name();
+            if name.to_str().and_then(Segment::seq_from_name).is_some() {
+                let len = e.metadata().unwrap().len() as usize;
+                std::fs::write(e.path(), vec![0xAAu8; len]).unwrap();
+                clobbered += 1;
+            }
+        }
+        assert!(clobbered > 0, "expected persisted segments");
+        let q = IndexPartition::disk_backed_reopen(8, dir.clone());
+        assert!(q.io_error().is_none(), "reopen read segment bytes: {:?}", q.io_error());
+        assert_eq!(q.len(), live);
+        let foot = q.ram_footprint();
+        assert_eq!(foot.segments, foot_before.segments);
+        assert_eq!(foot.fence_bytes, foot_before.fence_bytes, "fences from manifest");
+        assert_eq!(foot.filter_bytes, foot_before.filter_bytes, "filter from manifest");
+        // The restored filter answers negatives from RAM with zero probes.
+        for i in 50_000..50_500u64 {
+            let (outcome, trace) = q.lookup_traced(&fp(i));
+            assert_eq!(outcome, LookupOutcome::MissRam, "i={i}");
+            assert_eq!(trace.disk_probes, 0, "i={i}");
+        }
+        assert_eq!(q.stats().disk_reads, 0, "no disk probe at any point");
+        assert!(q.io_error().is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_manifest_falls_back_to_full_sweep() {
+        let (p, dir) = disk_partition(8, "badmft");
+        for i in 0..300 {
+            p.insert(fp(i), ChunkEntry::new(i, i, 0));
+        }
+        for i in (0..50).step_by(2) {
+            p.release(&fp(i));
+        }
+        let before = p.dump();
+        let live = p.len();
+        p.persist().expect("persist");
+        drop(p);
+        // Flip one body byte: the manifest checksum must reject it and
+        // the reopen must recover everything from the segments alone.
+        let mpath = dir.join(super::MANIFEST_NAME);
+        let mut bytes = std::fs::read(&mpath).unwrap();
+        bytes[20] ^= 0x01;
+        std::fs::write(&mpath, &bytes).unwrap();
+        let q = IndexPartition::disk_backed_reopen(8, dir.clone());
+        assert!(q.io_error().is_none(), "{:?}", q.io_error());
+        assert_eq!(q.len(), live);
+        assert_eq!(q.dump(), before, "full sweep recovers exact contents");
+        // The rebuilt filter is sound: negatives short-circuit, positives
+        // resolve.
+        let (outcome, trace) = q.lookup_traced(&fp(90_000));
+        assert_eq!(outcome, LookupOutcome::MissRam);
+        assert_eq!(trace.disk_probes, 0);
+        assert!(q.lookup(&fp(51)).is_some());
+        // A missing manifest takes the same path.
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_manifest_reopen_recovers_from_segments() {
+        let (p, dir) = disk_partition(8, "nomft");
+        for i in 0..200 {
+            p.insert(fp(i), ChunkEntry::new(i, 0, 0));
+        }
+        let before = p.dump();
+        p.persist().expect("persist");
+        drop(p);
+        std::fs::remove_file(dir.join(super::MANIFEST_NAME)).unwrap();
+        let q = IndexPartition::disk_backed_reopen(8, dir.clone());
+        assert!(q.io_error().is_none(), "{:?}", q.io_error());
+        assert_eq!(q.dump(), before);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopen_sweeps_segments_newer_than_the_manifest() {
+        let (p, dir) = disk_partition(4, "sweepnew");
+        for i in 0..100 {
+            p.insert(fp(i), ChunkEntry::new(i, 0, 0));
+        }
+        let persisted = p.dump();
+        let persisted_len = p.len();
+        p.persist().expect("persist");
+        drop(p);
+        // A segment flushed after the last persist: its records are
+        // invisible to the persisted filter, so keeping it would create
+        // filter false negatives.
+        let stray = fp(777_777);
+        Segment::write(&dir, 999, [(stray, Some(ChunkEntry::new(1, 0, 0)))]).unwrap();
+        let q = IndexPartition::disk_backed_reopen(4, dir.clone());
+        assert!(q.io_error().is_none(), "{:?}", q.io_error());
+        // Only the persisted checkpoint survives — the unreferenced
+        // segment was swept, and its file is gone.
+        assert_eq!(q.len(), persisted_len);
+        assert_eq!(q.dump(), persisted);
+        assert!(q.lookup(&stray).is_none());
+        assert!(!Segment::path_for(&dir, 999).exists(), "stray segment swept");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopen_after_post_persist_compaction_recovers_from_segments() {
+        // Mutations after a persist can compact the very segments the
+        // manifest references away; the reopen must then fall back to
+        // the sweep and recover everything the segments actually hold.
+        let (p, dir) = disk_partition(4, "postcompact");
+        for i in 0..100 {
+            p.insert(fp(i), ChunkEntry::new(i, 0, 0));
+        }
+        p.persist().expect("persist");
+        for i in 1000..1100 {
+            p.insert(fp(i), ChunkEntry::new(i, 0, 0));
+        }
+        // Flush the stragglers so the disk state is complete, then drop
+        // without persisting — the manifest is now stale.
+        p.persist().expect("second persist");
+        let full = p.dump();
+        drop(p);
+        std::fs::remove_file(dir.join(super::MANIFEST_NAME)).unwrap();
+        let q = IndexPartition::disk_backed_reopen(4, dir.clone());
+        assert!(q.io_error().is_none(), "{:?}", q.io_error());
+        assert_eq!(q.dump(), full);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopen_of_nonexistent_dir_is_a_fresh_store() {
+        let dir = std::env::temp_dir().join(format!(
+            "aadedupe-part-fresh-reopen-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let q = IndexPartition::disk_backed_reopen(8, dir.clone());
+        assert!(q.is_disk_backed());
+        assert_eq!(q.len(), 0);
+        assert!(q.insert(fp(1), ChunkEntry::new(1, 0, 0)));
+        assert!(q.persist().is_ok());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -21,6 +21,22 @@
 //!   `vendor/`; every first-party crate root carries
 //!   `#![forbid(unsafe_code)]`.
 //!
+//! A second pass ([`graph`]) lexes no new source: it resolves a
+//! conservative whole-workspace call graph (name + arity, bounded by
+//! the Cargo dependency DAG, dev-dependencies and test functions
+//! excluded) from the same token streams and runs three
+//! interprocedural rules (DESIGN §17):
+//!
+//! - **L5 `lock-order-cycle`** — two locks acquired in opposite orders
+//!   on any pair of call paths (per-call-site transitive resolution).
+//! - **L6 `panic-path`** — a public API of a decision crate (`core`,
+//!   `chunking`, `hashing`, `index`, `container`) reaches an unvetted
+//!   panic leaf (`unwrap`/`expect`/`panic!`/indexing) through any call
+//!   chain.
+//! - **L7 `discarded-fallibility`** — a caller of the object-store
+//!   fallible surface (`put`/`get`/`delete`) does not itself return
+//!   `Result`, so the error cannot propagate.
+//!
 //! Suppression is per-site via
 //! `// aalint: allow(<rule>) -- <justification>`; every used allow is
 //! inventoried in the report, malformed or unused allows are
@@ -28,33 +44,61 @@
 //! `syn`): the container is air-gapped, and the rules are linear token
 //! patterns that do not need a full parse.
 
+pub mod graph;
 pub mod lexer;
 pub mod report;
 pub mod rules;
 
+use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 
-pub use report::{Allow, Diagnostic, Report};
+pub use report::{Allow, Diagnostic, GraphStats, Report};
 
 /// Directories never descended into, at any depth.
 const SKIP_DIRS: &[&str] = &["target", "vendor", "fixtures", ".git", ".github", "results"];
 
 /// Scans every first-party `.rs` file under `root` (a workspace root)
 /// and returns the sorted report.
+///
+/// Two phases: the file-local rules (L1–L4) run per file on its token
+/// stream; the same pre-lexed streams then feed the workspace call
+/// graph and the interprocedural rules (L5–L7). Allow directives are
+/// shared — either phase can consume one — and only directives unused
+/// by *both* become `unused-allow` diagnostics.
 pub fn scan_workspace(root: &Path) -> std::io::Result<Report> {
     let mut files = Vec::new();
     collect_rs_files(root, root, &mut files)?;
     files.sort();
     let mut report = Report::default();
+    let mut inputs: Vec<graph::FileInput> = Vec::new();
+    let mut cands_by_file: BTreeMap<String, Vec<Diagnostic>> = BTreeMap::new();
+    let mut dirs_by_file: BTreeMap<String, Vec<rules::Directive>> = BTreeMap::new();
     for rel in files {
         let src = fs::read_to_string(root.join(&rel))?;
-        let (diags, allows) = rules::scan_source(&rel, &src);
-        if rules::classify(&rel).is_some() {
-            report.files_scanned += 1;
-        }
-        report.diagnostics.extend(diags);
+        let Some(class) = rules::classify(&rel) else { continue };
+        report.files_scanned += 1;
+        let (toks, comments) = lexer::lex(&src);
+        let test_ranges = rules::test_line_ranges(&toks);
+        let cands = rules::file_candidates(&rel, &class, &toks, &test_ranges);
+        let (dirs, malformed) = rules::parse_directives(&rel, &toks, &comments);
+        report.diagnostics.extend(malformed);
+        cands_by_file.insert(rel.clone(), cands);
+        dirs_by_file.insert(rel.clone(), dirs);
+        inputs.push(graph::FileInput { rel, class, toks, test_ranges });
+    }
+
+    let (ip_diags, stats) = graph::interprocedural(&inputs, root, &mut dirs_by_file);
+    report.graph = stats;
+    report.diagnostics.extend(ip_diags);
+
+    for (rel, cands) in cands_by_file {
+        let mut dirs = dirs_by_file.remove(&rel).unwrap_or_default();
+        let survivors = rules::suppress(cands, &mut dirs);
+        report.diagnostics.extend(survivors);
+        let (allows, unused) = rules::directive_hygiene(&rel, dirs);
         report.allows.extend(allows);
+        report.diagnostics.extend(unused);
     }
     report.sort();
     Ok(report)

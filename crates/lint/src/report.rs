@@ -33,10 +33,24 @@ pub struct Allow {
     pub justification: String,
 }
 
+/// Call-graph statistics from the interprocedural pass (L5–L7): how
+/// much of the workspace the graph saw, and how widely may-panic taint
+/// spread. Zero in single-file scans, which never build the graph.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GraphStats {
+    /// `fn` definitions (graph nodes), test code included.
+    pub nodes: usize,
+    /// Resolved caller→callee pairs (deduplicated).
+    pub edges: usize,
+    /// Functions from which a panic leaf is reachable.
+    pub panic_tainted: usize,
+}
+
 /// Full scan result.
 #[derive(Debug, Clone, Default)]
 pub struct Report {
     pub files_scanned: usize,
+    pub graph: GraphStats,
     pub diagnostics: Vec<Diagnostic>,
     pub allows: Vec<Allow>,
 }
@@ -77,14 +91,22 @@ impl Report {
             self.diagnostics.len(),
             self.allows.len()
         ));
+        out.push_str(&format!(
+            "call graph: {} fn(s), {} edge(s), {} panic-tainted\n",
+            self.graph.nodes, self.graph.edges, self.graph.panic_tainted
+        ));
         out
     }
 
     /// Machine-readable JSON (stable key order, sorted entries).
     pub fn render_json(&self) -> String {
         let mut out = String::new();
-        out.push_str("{\n  \"version\": 1,\n");
+        out.push_str("{\n  \"version\": 2,\n");
         out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!(
+            "  \"graph\": {{\"nodes\": {}, \"edges\": {}, \"panic_tainted\": {}}},\n",
+            self.graph.nodes, self.graph.edges, self.graph.panic_tainted
+        ));
         out.push_str(&format!("  \"clean\": {},\n", self.clean()));
         out.push_str("  \"diagnostics\": [");
         for (i, d) in self.diagnostics.iter().enumerate() {

@@ -18,7 +18,8 @@ use crate::report::{Allow, Diagnostic};
 /// fingerprints, index placement, container layout. Nondeterminism here
 /// breaks the serial≡parallel byte-reproducibility contract (DESIGN §8,
 /// §11), so the determinism rules apply to these crates.
-const DEDUP_DECISION_CRATES: &[&str] = &["core", "chunking", "hashing", "index", "container"];
+pub(crate) const DEDUP_DECISION_CRATES: &[&str] =
+    &["core", "chunking", "hashing", "index", "container"];
 
 /// Crates additionally covered by the unordered-iteration rule because
 /// they shape report output (metrics) or observability snapshots (obs).
@@ -32,6 +33,9 @@ const SUPPRESSIBLE: &[&str] = &[
     "nondeterministic-time",
     "unordered-iteration",
     "blocking-under-lock",
+    "lock-order-cycle",
+    "panic-path",
+    "discarded-fallibility",
 ];
 
 /// Iterator adapters whose result does not depend on iteration order,
@@ -94,12 +98,31 @@ pub fn classify(rel: &str) -> Option<FileClass> {
     Some(FileClass { crate_name, test_path, bin_path, crate_root })
 }
 
-/// Scans one file's source text. Returns surviving diagnostics plus the
-/// inventory of allow comments that suppressed something.
+/// Scans one file's source text with the file-local rule families
+/// (L1–L4). The interprocedural rules (L5–L7) need the whole workspace
+/// and only run through [`crate::scan_workspace`]. Returns surviving
+/// diagnostics plus the inventory of allow comments that suppressed
+/// something.
 pub fn scan_source(rel: &str, src: &str) -> (Vec<Diagnostic>, Vec<Allow>) {
     let Some(class) = classify(rel) else { return (Vec::new(), Vec::new()) };
     let (toks, comments) = lex(src);
     let test_ranges = test_line_ranges(&toks);
+    let mut cands = file_candidates(rel, &class, &toks, &test_ranges);
+    let (mut dirs, malformed) = parse_directives(rel, &toks, &comments);
+    cands = suppress(cands, &mut dirs);
+    cands.extend(malformed);
+    let (allows, unused) = directive_hygiene(rel, dirs);
+    cands.extend(unused);
+    (cands, allows)
+}
+
+/// The file-local rule families (L1–L4), before allow suppression.
+pub(crate) fn file_candidates(
+    rel: &str,
+    class: &FileClass,
+    toks: &[Tok],
+    test_ranges: &[(u32, u32)],
+) -> Vec<Diagnostic> {
     let in_test = |line: u32| {
         class.test_path || test_ranges.iter().any(|&(a, b)| line >= a && line <= b)
     };
@@ -112,23 +135,23 @@ pub fn scan_source(rel: &str, src: &str) -> (Vec<Diagnostic>, Vec<Allow>) {
         message,
     };
 
-    rule_swallowed_result(&toks, &mut |line, msg| cands.push(diag("swallowed-result", line, msg)));
+    rule_swallowed_result(toks, &mut |line, msg| cands.push(diag("swallowed-result", line, msg)));
     if !class.bin_path {
-        rule_unwrap_in_lib(&toks, &mut |line, msg| cands.push(diag("unwrap-in-lib", line, msg)));
+        rule_unwrap_in_lib(toks, &mut |line, msg| cands.push(diag("unwrap-in-lib", line, msg)));
     }
     if DEDUP_DECISION_CRATES.contains(&class.crate_name.as_str()) {
-        rule_nondet_time(&toks, &mut |line, msg| {
+        rule_nondet_time(toks, &mut |line, msg| {
             cands.push(diag("nondeterministic-time", line, msg));
         });
     }
     if DEDUP_DECISION_CRATES.contains(&class.crate_name.as_str())
         || OUTPUT_SHAPING_CRATES.contains(&class.crate_name.as_str())
     {
-        rule_unordered_iteration(&toks, &mut |line, msg| {
+        rule_unordered_iteration(toks, &mut |line, msg| {
             cands.push(diag("unordered-iteration", line, msg));
         });
     }
-    rule_blocking_under_lock(&toks, &mut |line, msg| {
+    rule_blocking_under_lock(toks, &mut |line, msg| {
         cands.push(diag("blocking-under-lock", line, msg));
     });
 
@@ -136,7 +159,7 @@ pub fn scan_source(rel: &str, src: &str) -> (Vec<Diagnostic>, Vec<Allow>) {
     // (added below) apply everywhere.
     cands.retain(|d| !in_test(d.line));
 
-    for t in &toks {
+    for t in toks {
         if let TokKind::Ident(name) = &t.kind {
             if name == "unsafe" {
                 cands.push(diag(
@@ -149,7 +172,7 @@ pub fn scan_source(rel: &str, src: &str) -> (Vec<Diagnostic>, Vec<Allow>) {
             }
         }
     }
-    if class.crate_root && !has_forbid_unsafe(&toks) {
+    if class.crate_root && !has_forbid_unsafe(toks) {
         cands.push(diag(
             "missing-forbid-unsafe",
             1,
@@ -157,7 +180,7 @@ pub fn scan_source(rel: &str, src: &str) -> (Vec<Diagnostic>, Vec<Allow>) {
         ));
     }
 
-    apply_allows(rel, &toks, &comments, cands)
+    cands
 }
 
 /// Matches `forbid ( unsafe_code )` anywhere in the token stream (the
@@ -176,20 +199,20 @@ fn ident_is(t: &Tok, name: &str) -> bool {
     matches!(&t.kind, TokKind::Ident(s) if s == name)
 }
 
-fn ident_of(t: &Tok) -> Option<&str> {
+pub(crate) fn ident_of(t: &Tok) -> Option<&str> {
     match &t.kind {
         TokKind::Ident(s) => Some(s),
         _ => None,
     }
 }
 
-fn punct_is(t: &Tok, c: char) -> bool {
+pub(crate) fn punct_is(t: &Tok, c: char) -> bool {
     t.kind == TokKind::Punct(c)
 }
 
 /// Line ranges (inclusive) of `#[cfg(test)]` / `#[test]`-attributed
 /// items, so library rules skip unit-test modules embedded in src files.
-fn test_line_ranges(toks: &[Tok]) -> Vec<(u32, u32)> {
+pub(crate) fn test_line_ranges(toks: &[Tok]) -> Vec<(u32, u32)> {
     let mut ranges = Vec::new();
     let mut i = 0usize;
     while i < toks.len() {
@@ -667,23 +690,25 @@ fn rule_blocking_under_lock(toks: &[Tok], emit: &mut impl FnMut(u32, String)) {
     }
 }
 
-/// One parsed allow directive.
-struct Directive {
-    rule: String,
-    comment_line: u32,
-    target_line: u32,
-    justification: String,
-    used: bool,
+/// One parsed allow directive. The `used` flag is set by whichever
+/// rule family (file-local or interprocedural) the directive ends up
+/// suppressing; directives still unused after every pass become
+/// `unused-allow` diagnostics in [`directive_hygiene`].
+pub(crate) struct Directive {
+    pub rule: String,
+    pub comment_line: u32,
+    pub target_line: u32,
+    pub justification: String,
+    pub used: bool,
 }
 
-/// Parses allow comments, applies suppression, reports malformed and
-/// unused directives.
-fn apply_allows(
+/// Parses the allow comments of one file. Returns the directives plus
+/// `malformed-allow` diagnostics.
+pub(crate) fn parse_directives(
     rel: &str,
     toks: &[Tok],
     comments: &[Comment],
-    mut cands: Vec<Diagnostic>,
-) -> (Vec<Diagnostic>, Vec<Allow>) {
+) -> (Vec<Directive>, Vec<Diagnostic>) {
     let mut directives: Vec<Directive> = Vec::new();
     let mut extra: Vec<Diagnostic> = Vec::new();
     for c in comments {
@@ -745,9 +770,13 @@ fn apply_allows(
             extra.push(malformed("empty rule list"));
         }
     }
+    (directives, extra)
+}
 
+/// Drops candidates a directive targets, marking those directives used.
+pub(crate) fn suppress(mut cands: Vec<Diagnostic>, dirs: &mut [Directive]) -> Vec<Diagnostic> {
     cands.retain(|d| {
-        for dir in &mut directives {
+        for dir in dirs.iter_mut() {
             if dir.rule == d.rule && dir.target_line == d.line {
                 dir.used = true;
                 return false;
@@ -755,9 +784,20 @@ fn apply_allows(
         }
         true
     });
+    cands
+}
 
+/// Final accounting for one file's directives: used ones enter the
+/// allow inventory, unused ones are diagnostics (this covers the
+/// interprocedural rules too — the workspace pass marks the directives
+/// it consumed before this runs).
+pub(crate) fn directive_hygiene(
+    rel: &str,
+    dirs: Vec<Directive>,
+) -> (Vec<Allow>, Vec<Diagnostic>) {
     let mut allows = Vec::new();
-    for dir in directives {
+    let mut unused = Vec::new();
+    for dir in dirs {
         if dir.used {
             allows.push(Allow {
                 rule: dir.rule,
@@ -766,7 +806,7 @@ fn apply_allows(
                 justification: dir.justification,
             });
         } else {
-            extra.push(Diagnostic {
+            unused.push(Diagnostic {
                 rule: "unused-allow",
                 file: rel.to_string(),
                 line: dir.comment_line,
@@ -778,8 +818,7 @@ fn apply_allows(
             });
         }
     }
-    cands.extend(extra);
-    (cands, allows)
+    (allows, unused)
 }
 
 #[cfg(test)]

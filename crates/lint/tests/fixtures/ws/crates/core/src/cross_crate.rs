@@ -1,0 +1,7 @@
+//! Cross-crate fixture: core's public API reaching a panic defined in
+//! the `storage` fixture crate, proving the call graph links across
+//! crate boundaries through the Cargo dependency closure.
+
+pub fn weigh(table: &[u32], i: usize) -> u32 {
+    fixture_storage::nth_weight(table, i)
+}

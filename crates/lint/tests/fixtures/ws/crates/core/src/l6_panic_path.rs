@@ -1,0 +1,28 @@
+//! L6 fixtures: a public API reaching an indexing panic through a
+//! private helper, a leaf proved safe at its site, and an unused allow.
+
+pub fn first_weight(table: &[u32], i: usize) -> u32 {
+    pick(table, i)
+}
+
+fn pick(table: &[u32], i: usize) -> u32 {
+    table[i]
+}
+
+pub fn clamped_weight(table: &[u32], i: usize) -> u32 {
+    clamped_pick(table, i)
+}
+
+fn clamped_pick(table: &[u32], i: usize) -> u32 {
+    let i = i.min(table.len().saturating_sub(1));
+    if table.is_empty() {
+        return 0;
+    }
+    // aalint: allow(panic-path) -- fixture: index clamped to len - 1 and the empty case returned above
+    table[i]
+}
+
+pub fn no_panic_here(x: u32) -> u32 {
+    // aalint: allow(panic-path) -- fixture: unused, nothing on the next line can panic
+    x.wrapping_add(1)
+}

@@ -1,0 +1,53 @@
+//! L7 fixtures: storage fallibility laundered directly, laundered
+//! through a transitive wrapper, propagated properly, justified away,
+//! and one unused allow.
+
+pub struct BackendError;
+
+pub trait ObjectBackend {
+    fn put(&self, key: &str, bytes: Vec<u8>) -> Result<(), BackendError>;
+}
+
+pub struct NullBackend;
+
+impl ObjectBackend for NullBackend {
+    fn put(&self, _key: &str, _bytes: Vec<u8>) -> Result<(), BackendError> {
+        Ok(())
+    }
+}
+
+pub struct Uploader {
+    backend: NullBackend,
+}
+
+impl Uploader {
+    pub fn fire_and_forget(&self, key: &str, bytes: Vec<u8>) {
+        self.backend.put(key, bytes).unwrap_or(());
+    }
+
+    pub fn forward(&self, key: &str, bytes: Vec<u8>) -> Result<(), BackendError> {
+        self.backend.put(key, bytes)
+    }
+
+    fn relay(&self, key: &str, bytes: Vec<u8>) -> Result<(), BackendError> {
+        self.backend.put(key, bytes)
+    }
+
+    pub fn transitive_discard(&self, key: &str) {
+        self.relay(key, Vec::new()).unwrap_or(());
+    }
+
+    pub fn justified(&self, key: &str, bytes: Vec<u8>) {
+        // aalint: allow(discarded-fallibility) -- fixture: telemetry write, losing it is acceptable
+        self.backend.put(key, bytes).unwrap_or(());
+    }
+
+    pub fn infallible_work(&self) -> usize {
+        // aalint: allow(discarded-fallibility) -- fixture: unused, nothing fallible on the next line
+        self.backend_name().len()
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "null"
+    }
+}

@@ -42,15 +42,24 @@ fn fixture_scan_covers_every_rule() {
         "missing-forbid-unsafe",
         "unused-allow",
         "malformed-allow",
+        "lock-order-cycle",
+        "panic-path",
+        "discarded-fallibility",
     ] {
         assert!(rules.contains(&rule), "no fixture exercises `{rule}`: {rules:?}");
     }
     // Each suppressible rule family also has a suppressed-by-allow
     // negative, inventoried rather than diagnosed.
     let allowed: Vec<&str> = report.allows.iter().map(|a| a.rule.as_str()).collect();
-    for rule in
-        ["swallowed-result", "unwrap-in-lib", "unordered-iteration", "blocking-under-lock"]
-    {
+    for rule in [
+        "swallowed-result",
+        "unwrap-in-lib",
+        "unordered-iteration",
+        "blocking-under-lock",
+        "lock-order-cycle",
+        "panic-path",
+        "discarded-fallibility",
+    ] {
         assert!(allowed.contains(&rule), "no fixture allow for `{rule}`: {allowed:?}");
     }
 }

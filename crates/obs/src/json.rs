@@ -169,6 +169,7 @@ impl Parser<'_> {
     }
 
     fn lit(&mut self, s: &str, v: Value) -> Result<Value, ParseError> {
+        // aalint: allow(panic-path) -- i <= b.len() always; slicing from i is at worst the empty tail
         if self.b[self.i..].starts_with(s.as_bytes()) {
             self.i += s.len();
             Ok(v)
@@ -266,6 +267,7 @@ impl Parser<'_> {
                             if self.i + 4 > self.b.len() {
                                 return Err(self.err("short \\u escape"));
                             }
+                            // aalint: allow(panic-path) -- i + 4 <= b.len() was checked above
                             let hex = std::str::from_utf8(&self.b[self.i..self.i + 4])
                                 .map_err(|_| self.err("bad \\u escape"))?;
                             let cp = u32::from_str_radix(hex, 16)
@@ -283,10 +285,12 @@ impl Parser<'_> {
                     // Consume one UTF-8 scalar.
                     let start = self.i;
                     self.i += 1;
+                    // aalint: allow(panic-path) -- start <= i <= b.len(): i only advances while < b.len()
                     while self.i < self.b.len() && self.b[self.i] & 0xC0 == 0x80 {
                         self.i += 1;
                     }
                     s.push_str(
+                        // aalint: allow(panic-path) -- start <= i <= b.len() as above
                         std::str::from_utf8(&self.b[start..self.i])
                             .map_err(|_| self.err("invalid UTF-8"))?,
                     );
@@ -303,6 +307,7 @@ impl Parser<'_> {
         while matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
             self.i += 1;
         }
+        // aalint: allow(panic-path) -- start <= i <= b.len(): i only advances while a digit byte is peeked
         let text = std::str::from_utf8(&self.b[start..self.i])
             .map_err(|_| ParseError { at: start, msg: "bad number" })?;
         text.parse::<f64>().map(Value::Num).map_err(|_| ParseError { at: start, msg: "bad number" })

@@ -457,6 +457,7 @@ impl Recorder {
     #[inline]
     pub fn record_duration(&self, stage: Stage, d: Duration) {
         if self.is_enabled() {
+            // aalint: allow(panic-path) -- Stage discriminants index an array with one slot per variant
             self.stages[stage as usize].record(d.as_nanos().min(u64::MAX as u128) as u64);
         }
     }
@@ -465,6 +466,7 @@ impl Recorder {
     #[inline]
     pub fn count(&self, counter: Counter, n: u64) {
         if self.is_enabled() {
+            // aalint: allow(panic-path) -- Counter discriminants index an array with one slot per variant
             self.counters[counter as usize].fetch_add(n, Relaxed);
         }
     }
@@ -484,6 +486,7 @@ impl Recorder {
         if self.is_enabled() {
             let slot = (tag as usize).min(MAX_APP_TAG - 1);
             let table = if hit { &self.app_hits } else { &self.app_misses };
+            // aalint: allow(panic-path) -- slot is clamped to MAX_APP_TAG - 1
             table[slot].fetch_add(1, Relaxed);
         }
     }
@@ -493,6 +496,7 @@ impl Recorder {
     #[inline]
     pub fn queue_push(&self, q: Queue) {
         if self.is_enabled() {
+            // aalint: allow(panic-path) -- Queue discriminants index an array with one slot per variant
             let g = &self.queues[q as usize];
             let depth = g.depth.fetch_add(1, Relaxed) + 1;
             g.hwm.fetch_max(depth, Relaxed);
@@ -506,6 +510,7 @@ impl Recorder {
     #[inline]
     pub fn queue_pop(&self, q: Queue) {
         if self.is_enabled() {
+            // aalint: allow(panic-path) -- Queue discriminants index an array with one slot per variant
             let g = &self.queues[q as usize];
             if g.depth.fetch_update(Relaxed, Relaxed, |d| (d > 0).then(|| d - 1)).is_err() {
                 g.underflow.fetch_add(1, Relaxed);
@@ -573,7 +578,9 @@ impl Recorder {
         };
         let mut apps = Vec::new();
         for tag in 0..MAX_APP_TAG {
+            // aalint: allow(panic-path) -- tag ranges over 0..MAX_APP_TAG = app_hits.len()
             let hits = self.app_hits[tag].load(Relaxed);
+            // aalint: allow(panic-path) -- tag ranges over 0..MAX_APP_TAG = app_misses.len()
             let misses = self.app_misses[tag].load(Relaxed);
             if hits > 0 || misses > 0 {
                 apps.push(AppIndexSnapshot { tag: tag as u8, label: label_of(tag as u8), hits, misses });
@@ -595,16 +602,19 @@ impl Recorder {
         Snapshot {
             stages: Stage::ALL
                 .iter()
+                // aalint: allow(panic-path) -- Stage discriminants index an array with one slot per variant
                 .map(|&s| StageSnapshot { stage: s, hist: self.stages[s as usize].snapshot() })
                 .collect(),
             counters: Counter::ALL
                 .iter()
+                // aalint: allow(panic-path) -- Counter discriminants index an array with one slot per variant
                 .map(|&c| (c, self.counters[c as usize].load(Relaxed)))
                 .collect(),
             apps,
             queues: Queue::ALL
                 .iter()
                 .map(|&q| {
+                    // aalint: allow(panic-path) -- Queue discriminants index an array with one slot per variant
                     let g = &self.queues[q as usize];
                     QueueSnapshot {
                         queue: q,

@@ -16,11 +16,27 @@ fn workspace_is_aalint_clean() {
         report.files_scanned
     );
     assert!(report.clean(), "aalint violations in first-party code:\n{}", report.render_text());
+    // The interprocedural pass must actually see the workspace: a graph
+    // that collapses to a handful of nodes means the symbol pass broke,
+    // and L5–L7 would be vacuously green.
+    assert!(
+        report.graph.nodes > 1000,
+        "call graph lost the workspace: only {} fns",
+        report.graph.nodes
+    );
+    assert!(report.graph.edges > report.graph.nodes, "call graph has almost no edges");
+    assert!(
+        report.graph.panic_tainted > 0,
+        "zero panic-tainted fns is implausible — leaf detection broke"
+    );
     // Every suppression carries a justification by construction; keep the
     // inventory visible in test output so reviewers see the count move.
     println!(
-        "aalint: {} files, {} allows inventoried",
+        "aalint: {} files, {} allows inventoried, graph {} fns / {} edges / {} panic-tainted",
         report.files_scanned,
-        report.allows.len()
+        report.allows.len(),
+        report.graph.nodes,
+        report.graph.edges,
+        report.graph.panic_tainted
     );
 }
